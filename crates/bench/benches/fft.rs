@@ -1,0 +1,68 @@
+//! FFT substrate benchmarks: radix-2 vs Bluestein, 1-D vs 2-D, serial vs
+//! parallel — the costs underneath the direct DFT method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_fft::{Direction, Fft, Fft2d};
+use rrs_num::Complex64;
+use rrs_rng::{RandomSource, Xoshiro256pp};
+use std::hint::black_box;
+
+fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n).map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for &n in &[256usize, 1024, 4096, 16384] {
+        group.throughput(Throughput::Elements(n as u64));
+        let fft = Fft::new(n);
+        let signal = random_signal(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = signal.clone();
+                fft.process(black_box(&mut buf), Direction::Forward);
+                black_box(buf)
+            })
+        });
+        // The adjacent non-power-of-two length exercises Bluestein.
+        let m = n + 1;
+        let bfft = Fft::new(m);
+        let bsignal = random_signal(m, m as u64);
+        group.bench_with_input(BenchmarkId::new("bluestein", m), &m, |b, _| {
+            b.iter(|| {
+                let mut buf = bsignal.clone();
+                bfft.process(black_box(&mut buf), Direction::Forward);
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    group.sample_size(20);
+    for &n in &[128usize, 256, 512] {
+        group.throughput(Throughput::Elements((n * n) as u64));
+        let field = random_signal(n * n, 7);
+        for workers in [1usize, 4] {
+            let fft = Fft2d::with_workers(n, n, workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{workers}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut buf = field.clone();
+                        fft.process(black_box(&mut buf), Direction::Forward);
+                        black_box(buf)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d);
+criterion_main!(benches);

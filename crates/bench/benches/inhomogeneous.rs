@@ -1,0 +1,138 @@
+//! Inhomogeneous-generation benchmarks.
+//!
+//! * overhead of the plate- and point-oriented weight maps against the
+//!   homogeneous baseline (pure regions cost one kernel dot product, so
+//!   the gap is the membership evaluation itself);
+//! * the `blend_fields` vs `blend_kernels` ablation from DESIGN.md §7:
+//!   the generator blends per-kernel *fields* (linearity); the literal
+//!   eqn (46) alternative materialises a blended kernel per sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_grid::Grid2;
+use rrs_inhomo::plate::quadrant_layout;
+use rrs_inhomo::{InhomogeneousGenerator, PointLayout, RepresentativePoint, WeightMap};
+use rrs_spectrum::{SpectrumModel, SurfaceParams};
+use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, KernelSizing, NoiseField};
+use std::hint::black_box;
+
+const N: usize = 128;
+
+fn sm(h: f64, cl: f64) -> SpectrumModel {
+    SpectrumModel::gaussian(SurfaceParams::isotropic(h, cl))
+}
+
+fn sizing() -> KernelSizing {
+    KernelSizing::Auto { factor: 8.0, min: 16, max: 256 }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inhomo_overhead");
+    group.sample_size(10);
+    let noise = NoiseField::new(1);
+
+    let hom = ConvolutionGenerator::new(&sm(1.0, 8.0), sizing()).with_workers(1);
+    group.bench_function("homogeneous", |b| {
+        b.iter(|| black_box(hom.generate_window(&noise, 0, 0, N, N)))
+    });
+
+    let plates = quadrant_layout(
+        N as f64,
+        N as f64,
+        [sm(1.0, 8.0), sm(1.5, 8.0), sm(2.0, 8.0), sm(1.5, 8.0)],
+        8.0,
+    );
+    let plate_gen = InhomogeneousGenerator::new(plates, sizing()).with_workers(1);
+    group.bench_function("plate_quadrants", |b| {
+        b.iter(|| black_box(plate_gen.generate_window(&noise, 0, 0, N, N)))
+    });
+
+    let points = PointLayout::new(
+        (0..8)
+            .map(|i| {
+                let th = core::f64::consts::TAU * i as f64 / 8.0;
+                RepresentativePoint {
+                    x: N as f64 / 2.0 + 40.0 * th.cos(),
+                    y: N as f64 / 2.0 + 40.0 * th.sin(),
+                    spectrum: sm(1.0 + 0.1 * i as f64, 8.0),
+                }
+            })
+            .collect(),
+        10.0,
+    );
+    let point_gen = InhomogeneousGenerator::new(points, sizing()).with_workers(1);
+    group.bench_function("point_ring8", |b| {
+        b.iter(|| black_box(point_gen.generate_window(&noise, 0, 0, N, N)))
+    });
+    group.finish();
+}
+
+/// Literal eqn (46): materialise the blended kernel at every sample, then
+/// dot it with the noise — the naive alternative the generator avoids.
+fn blend_kernels_naive(
+    layout: &dyn WeightMap,
+    kernels: &[ConvolutionKernel],
+    noise: &NoiseField,
+    n: usize,
+) -> Grid2<f64> {
+    let (kw, kh) = kernels[0].extent();
+    let (ox, oy) = kernels[0].origin();
+    let reach_l = ox + kw as i64 - 1;
+    let reach_r = -ox;
+    let win = noise.window(-reach_l, -reach_l, n + (reach_l + reach_r) as usize, n + (reach_l + reach_r) as usize);
+    let ww = n + (reach_l + reach_r) as usize;
+    let mut weights = Vec::new();
+    let mut blended = vec![0.0f64; kw * kh];
+    Grid2::from_fn(n, n, |ix, iy| {
+        layout.weights_at(ix as f64, iy as f64, &mut weights);
+        blended.iter_mut().for_each(|v| *v = 0.0);
+        for &(ki, g) in &weights {
+            for (dst, &src) in blended.iter_mut().zip(kernels[ki].weights().as_slice()) {
+                *dst += g * src;
+            }
+        }
+        // Dot the blended kernel with the noise window.
+        let mut acc = 0.0;
+        for b in 0..kh {
+            let jy = oy + b as i64;
+            let wy = (iy as i64 - jy + reach_l) as usize;
+            for a in 0..kw {
+                let jx = ox + a as i64;
+                let wx = (ix as i64 - jx + reach_l) as usize;
+                acc += blended[b * kw + a] * win[wy * ww + wx];
+            }
+        }
+        acc
+    })
+}
+
+fn bench_blend_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blend_ablation");
+    group.sample_size(10);
+    let noise = NoiseField::new(2);
+    // Same-extent kernels so the naive blend is well-defined.
+    let spec = rrs_spectrum::GridSpec::unit(64, 64);
+    let layout = quadrant_layout(
+        N as f64,
+        N as f64,
+        [sm(1.0, 6.0), sm(1.5, 6.0), sm(2.0, 6.0), sm(1.5, 6.0)],
+        12.0,
+    );
+    let kernels: Vec<ConvolutionKernel> = layout
+        .spectra()
+        .iter()
+        .map(|s| ConvolutionKernel::build_on(s, spec))
+        .collect();
+
+    let gen = InhomogeneousGenerator::from_kernels(layout.clone(), kernels.clone())
+        .with_workers(1);
+    group.bench_function(BenchmarkId::new("blend_fields", N), |b| {
+        b.iter(|| black_box(gen.generate_window(&noise, 0, 0, N, N)))
+    });
+    group.bench_function(BenchmarkId::new("blend_kernels_naive", N), |b| {
+        b.iter(|| black_box(blend_kernels_naive(&layout, &kernels, &noise, N)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead, bench_blend_ablation);
+criterion_main!(benches);

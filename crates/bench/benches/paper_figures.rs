@@ -1,0 +1,26 @@
+//! End-to-end generation cost of each paper figure (at bench scale 1/8 —
+//! the geometry and spectra mix are the paper's; only linear dimensions
+//! shrink). Regenerate the full-size figures with the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_bench::figures::{fig1, fig2, fig3, fig4};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(10);
+    let scale = 0.125;
+    let eps = 0.01;
+    for (name, fig) in [
+        ("fig1_quadrants", fig1(scale, eps, 1)),
+        ("fig2_spectra", fig2(scale, eps, 1)),
+        ("fig3_circle", fig3(scale, eps, 1)),
+        ("fig4_points", fig4(scale, eps, 1)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(fig.generate())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Reproduction harness for the paper's evaluation (Figures 1–4 and the
+//! quantitative claims C1–C4 of DESIGN.md).
+//!
+//! [`figures`] builds each figure's generator and the list of homogeneous
+//! sub-regions to validate, parameterised by a linear `scale` so the same
+//! definitions serve the full-size `reproduce` binary, the criterion
+//! benches, and the fast integration tests.
+
+pub mod figures;
+
+pub use figures::{Figure, FigureRegion};

@@ -1,0 +1,147 @@
+//! Bluestein's chirp-z algorithm — FFTs of arbitrary length.
+//!
+//! The identity `nk = (n² + k² − (k−n)²) / 2` rewrites the DFT of any
+//! length `N` as a linear convolution of two chirp-modulated sequences,
+//! which is evaluated with a zero-padded power-of-two FFT of length
+//! `M ≥ 2N − 1`. This keeps the paper's generator free to use *any* grid
+//! dimension (surface lengths are physical, not algorithmic, choices).
+
+use crate::plan::FftPlan;
+use crate::Direction;
+use rrs_num::Complex64;
+
+/// A precomputed Bluestein transform of length `n`.
+pub struct Bluestein {
+    n: usize,
+    /// Chirp `w[k] = e^{-jπ k² / n}` (forward sense), `k < n`.
+    chirp: Vec<Complex64>,
+    /// Forward FFT of the zero-padded conjugate-chirp filter, length `m`.
+    filter_spectrum: Vec<Complex64>,
+    inner: FftPlan,
+}
+
+impl Bluestein {
+    /// Builds the transform tables for length `n ≥ 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Bluestein length must be positive");
+        let m = (2 * n - 1).next_power_of_two();
+        // k² mod 2n keeps the chirp phase argument bounded so the cis()
+        // stays accurate for very long transforms.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128 % (2 * n as u128)) as f64;
+                Complex64::cis(-core::f64::consts::PI * k2 / n as f64)
+            })
+            .collect();
+        let inner = FftPlan::new(m);
+        // Filter b[k] = conj(chirp[k]) at offsets 0 and m-k (wrap-around),
+        // zero elsewhere; precompute its forward FFT once.
+        let mut filter = vec![Complex64::ZERO; m];
+        filter[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            filter[k] = c;
+            filter[m - k] = c;
+        }
+        inner.process(&mut filter, Direction::Forward);
+        Self { n, chirp, filter_spectrum: filter, inner }
+    }
+
+    /// The transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false` (length ≥ 1 by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place transform of `buf`.
+    pub fn process(&self, buf: &mut [Complex64], dir: Direction) {
+        assert_eq!(buf.len(), self.n, "buffer length mismatch");
+        let m = self.inner.len();
+        let mut a = vec![Complex64::ZERO; m];
+        // The inverse transform is the conjugate of the forward transform
+        // of the conjugated input, scaled by 1/n.
+        let conjugate = dir == Direction::Inverse;
+        for (k, (&x, &c)) in buf.iter().zip(&self.chirp).enumerate() {
+            let x = if conjugate { x.conj() } else { x };
+            a[k] = x * c;
+        }
+        self.inner.process(&mut a, Direction::Forward);
+        for (z, &f) in a.iter_mut().zip(&self.filter_spectrum) {
+            *z *= f;
+        }
+        self.inner.process(&mut a, Direction::Inverse);
+        let norm = if conjugate { 1.0 / self.n as f64 } else { 1.0 };
+        for (k, out) in buf.iter_mut().enumerate() {
+            let v = a[k] * self.chirp[k];
+            *out = if conjugate { v.conj().scale(norm) } else { v };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_reference;
+
+    #[test]
+    fn matches_reference_for_awkward_lengths() {
+        for n in [1usize, 2, 3, 5, 6, 7, 11, 13, 21, 33, 47, 60, 101, 257] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((0.7 * i as f64).cos(), (1.3 * i as f64).sin()))
+                .collect();
+            let mut fast = x.clone();
+            Bluestein::new(n).process(&mut fast, Direction::Forward);
+            let slow = dft_reference(&x, Direction::Forward);
+            for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((*a - *b).abs() < 1e-8 * (n as f64).max(1.0), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [3usize, 10, 37, 99] {
+            let x: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new(i as f64 * 0.1, -(i as f64) * 0.2)).collect();
+            let b = Bluestein::new(n);
+            let mut buf = x.clone();
+            b.process(&mut buf, Direction::Forward);
+            b.process(&mut buf, Direction::Inverse);
+            for (a, c) in buf.iter().zip(&x) {
+                assert!((*a - *c).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_power_of_two_lengths_too() {
+        // Not the dispatcher's choice, but must still be correct.
+        let n = 16;
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::from_re(i as f64)).collect();
+        let mut fast = x.clone();
+        Bluestein::new(n).process(&mut fast, Direction::Forward);
+        let slow = dft_reference(&x, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_prime_length_is_stable() {
+        let n = 1009; // prime: worst case for non-Bluestein approaches
+        let x: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let b = Bluestein::new(n);
+        let mut buf = x.clone();
+        b.process(&mut buf, Direction::Forward);
+        b.process(&mut buf, Direction::Inverse);
+        let err = buf.iter().zip(&x).map(|(a, c)| (*a - *c).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "round-trip err {err}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Naive `O(N²)` discrete Fourier transform — the test oracle.
+//!
+//! Every fast path in this crate is validated against this direct
+//! evaluation of the defining sums (paper eqns 11–12). It is deliberately
+//! simple; do not use it outside tests and diagnostics.
+
+use crate::Direction;
+use rrs_num::Complex64;
+
+/// Evaluates the DFT of `input` by the defining sum.
+pub fn dft_reference(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let norm = match dir {
+        Direction::Forward => 1.0,
+        Direction::Inverse => 1.0 / n as f64,
+    };
+    let base = sign * core::f64::consts::TAU / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                // Reduce i*k modulo n before the float multiply to keep the
+                // phase argument small and accurate for large N.
+                let phase = base * ((i * k) % n) as f64;
+                acc += x * Complex64::cis(phase);
+            }
+            acc.scale(norm)
+        })
+        .collect()
+}
+
+/// Evaluates the 2-D DFT (row-major `nx × ny`) by the defining double sum.
+pub fn dft2_reference(input: &[Complex64], nx: usize, ny: usize, dir: Direction) -> Vec<Complex64> {
+    assert_eq!(input.len(), nx * ny, "dft2_reference: bad shape");
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let norm = match dir {
+        Direction::Forward => 1.0,
+        Direction::Inverse => 1.0 / (nx * ny) as f64,
+    };
+    let mut out = vec![Complex64::ZERO; nx * ny];
+    for vy in 0..ny {
+        for vx in 0..nx {
+            let mut acc = Complex64::ZERO;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let phase = sign
+                        * core::f64::consts::TAU
+                        * (ix as f64 * vx as f64 / nx as f64 + iy as f64 * vy as f64 / ny as f64);
+                    acc += input[iy * nx + ix] * Complex64::cis(phase);
+                }
+            }
+            out[vy * nx + vx] = acc.scale(norm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(dft_reference(&[], Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn two_point_transform() {
+        let x = [Complex64::from_re(1.0), Complex64::from_re(2.0)];
+        let f = dft_reference(&x, Direction::Forward);
+        assert!((f[0].re - 3.0).abs() < 1e-12);
+        assert!((f[1].re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let x: Vec<Complex64> = (0..7).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let f = dft_reference(&x, Direction::Forward);
+        let back = dft_reference(&f, Direction::Inverse);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dft2_separability() {
+        // A rank-1 field f[ix,iy] = g[ix]·h[iy] transforms to G[vx]·H[vy].
+        let nx = 4;
+        let ny = 3;
+        let g: Vec<Complex64> = (0..nx).map(|i| Complex64::from_re(1.0 + i as f64)).collect();
+        let h: Vec<Complex64> = (0..ny).map(|i| Complex64::from_re(2.0 - i as f64)).collect();
+        let field: Vec<Complex64> = (0..nx * ny).map(|i| g[i % nx] * h[i / nx]).collect();
+        let f2 = dft2_reference(&field, nx, ny, Direction::Forward);
+        let fg = dft_reference(&g, Direction::Forward);
+        let fh = dft_reference(&h, Direction::Forward);
+        for vy in 0..ny {
+            for vx in 0..nx {
+                let expect = fg[vx] * fh[vy];
+                assert!((f2[vy * nx + vx] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn dft2_round_trip() {
+        let nx = 3;
+        let ny = 5;
+        let x: Vec<Complex64> =
+            (0..nx * ny).map(|i| Complex64::new((i as f64).sin(), (i as f64).cos())).collect();
+        let f = dft2_reference(&x, nx, ny, Direction::Forward);
+        let back = dft2_reference(&f, nx, ny, Direction::Inverse);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Row–column 2-D FFT with optional multithreading.
+//!
+//! The 2-D DFT separates into 1-D transforms along each axis. Rows are
+//! contiguous in the workspace's row-major layout; columns are gathered
+//! into per-thread scratch, transformed, and scattered back. Both passes
+//! parallelise over disjoint bands via `rrs-par`.
+
+use crate::{Direction, Fft};
+use rrs_num::Complex64;
+use std::sync::Arc;
+
+/// A prepared 2-D transform of shape `(nx, ny)`, row-major.
+pub struct Fft2d {
+    nx: usize,
+    ny: usize,
+    row_fft: Arc<Fft>,
+    col_fft: Arc<Fft>,
+    workers: usize,
+}
+
+impl Fft2d {
+    /// Builds a 2-D transform for an `nx × ny` row-major buffer using the
+    /// default worker count.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Self::with_workers(nx, ny, rrs_par::default_workers())
+    }
+
+    /// Builds a 2-D transform with an explicit worker count (1 = serial).
+    pub fn with_workers(nx: usize, ny: usize, workers: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "Fft2d dimensions must be positive");
+        let row_fft = Arc::new(Fft::new(nx));
+        let col_fft =
+            if ny == nx { row_fft.clone() } else { Arc::new(Fft::new(ny)) };
+        Self { nx, ny, row_fft, col_fft, workers: workers.max(1) }
+    }
+
+    /// Shape as `(nx, ny)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Transforms a row-major `nx × ny` buffer in place.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != nx * ny`.
+    pub fn process(&self, buf: &mut [Complex64], dir: Direction) {
+        assert_eq!(buf.len(), self.nx * self.ny, "buffer shape mismatch");
+        // Run both passes UN-normalised, then apply the 1/(Nx·Ny) once —
+        // the per-axis inverse normalisation would otherwise be applied by
+        // each 1-D call and double-count on the shared-plan path.
+        self.rows_pass(buf, dir);
+        self.cols_pass(buf, dir);
+        if dir == Direction::Inverse {
+            let k = 1.0 / (self.nx * self.ny) as f64;
+            for z in buf.iter_mut() {
+                *z = z.scale(k);
+            }
+        }
+    }
+
+    fn rows_pass(&self, buf: &mut [Complex64], dir: Direction) {
+        let nx = self.nx;
+        let fft = &self.row_fft;
+        let workers = self.workers.min(self.ny);
+        // Band over whole rows: chunk size is an exact multiple of nx so a
+        // row is never split across workers.
+        let rows_per_band = self.ny.div_ceil(workers);
+        if workers == 1 {
+            for row in buf.chunks_exact_mut(nx) {
+                process_unnormalised(fft, row, dir);
+            }
+            return;
+        }
+        rrs_par::scope(|s| {
+            for band in buf.chunks_mut(rows_per_band * nx) {
+                s.spawn(move |_| {
+                    for row in band.chunks_exact_mut(nx) {
+                        process_unnormalised(fft, row, dir);
+                    }
+                });
+            }
+        });
+    }
+
+    fn cols_pass(&self, buf: &mut [Complex64], dir: Direction) {
+        let nx = self.nx;
+        let ny = self.ny;
+        let fft = &self.col_fft;
+        if self.workers <= 1 || nx == 1 {
+            let mut scratch = vec![Complex64::ZERO; ny];
+            for cx in 0..nx {
+                for iy in 0..ny {
+                    scratch[iy] = buf[iy * nx + cx];
+                }
+                process_unnormalised(fft, &mut scratch, dir);
+                for iy in 0..ny {
+                    buf[iy * nx + cx] = scratch[iy];
+                }
+            }
+            return;
+        }
+        // Parallel column pass: split columns into bands; each worker owns
+        // an exclusive set of columns. Safe disjoint access is expressed by
+        // sending each worker a raw pointer wrapper over the shared buffer.
+        let ranges = rrs_par::split_range(nx, self.workers);
+        let ptr = SendPtr(buf.as_mut_ptr());
+        rrs_par::scope(|s| {
+            for &(c0, c1) in &ranges {
+                s.spawn(move |_| {
+                    // Rebind the whole wrapper first: edition-2021 closures
+                    // would otherwise capture the raw-pointer *field* (which
+                    // is not Send) instead of the Send wrapper.
+                    #[allow(clippy::redundant_locals)]
+                    let ptr = ptr;
+                    let buf_ptr = ptr.0;
+                    let mut scratch = vec![Complex64::ZERO; ny];
+                    for cx in c0..c1 {
+                        // SAFETY: column cx is touched by exactly one worker
+                        // (ranges are disjoint) and the scope outlives use.
+                        unsafe {
+                            for (iy, slot) in scratch.iter_mut().enumerate() {
+                                *slot = *buf_ptr.add(iy * nx + cx);
+                            }
+                        }
+                        process_unnormalised(fft, &mut scratch, dir);
+                        unsafe {
+                            for (iy, &v) in scratch.iter().enumerate() {
+                                *buf_ptr.add(iy * nx + cx) = v;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Applies the 1-D engine without its inverse normalisation (the 2-D
+/// driver applies the full `1/(Nx·Ny)` itself).
+fn process_unnormalised(fft: &Fft, buf: &mut [Complex64], dir: Direction) {
+    fft.process(buf, dir);
+    if dir == Direction::Inverse {
+        let n = buf.len() as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(n);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex64);
+// SAFETY: workers access strictly disjoint column sets of the pointee.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft2_reference;
+    use rrs_rng::{RandomSource, Xoshiro256pp};
+
+    fn random_field(nx: usize, ny: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..nx * ny)
+            .map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        for &(nx, ny) in &[(4usize, 4usize), (8, 4), (4, 8), (3, 5), (6, 6), (7, 8), (16, 3)] {
+            let x = random_field(nx, ny, (nx * 100 + ny) as u64);
+            let mut fast = x.clone();
+            Fft2d::with_workers(nx, ny, 1).process(&mut fast, Direction::Forward);
+            let slow = dft2_reference(&x, nx, ny, Direction::Forward);
+            assert!(max_err(&fast, &slow) < 1e-8, "shape ({nx},{ny})");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let (nx, ny) = (32, 24);
+        let x = random_field(nx, ny, 5);
+        let mut serial = x.clone();
+        let mut parallel = x.clone();
+        Fft2d::with_workers(nx, ny, 1).process(&mut serial, Direction::Forward);
+        Fft2d::with_workers(nx, ny, 4).process(&mut parallel, Direction::Forward);
+        assert_eq!(serial.len(), parallel.len());
+        // Bit-identical: the same plan runs on the same rows/columns.
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for &(nx, ny) in &[(8usize, 8usize), (5, 12), (16, 16), (9, 7)] {
+            let x = random_field(nx, ny, 77);
+            let mut buf = x.clone();
+            let fft = Fft2d::with_workers(nx, ny, 2);
+            fft.process(&mut buf, Direction::Forward);
+            fft.process(&mut buf, Direction::Inverse);
+            assert!(max_err(&buf, &x) < 1e-10, "shape ({nx},{ny})");
+        }
+    }
+
+    #[test]
+    fn square_shape_shares_plan() {
+        let fft = Fft2d::with_workers(16, 16, 1);
+        assert!(Arc::ptr_eq(&fft.row_fft, &fft.col_fft));
+    }
+
+    #[test]
+    fn plane_wave_hits_single_bin() {
+        let (nx, ny) = (16, 8);
+        let (kx, ky) = (3, 2);
+        let mut buf: Vec<Complex64> = (0..nx * ny)
+            .map(|i| {
+                let (ix, iy) = (i % nx, i / nx);
+                Complex64::cis(core::f64::consts::TAU
+                    * (kx as f64 * ix as f64 / nx as f64 + ky as f64 * iy as f64 / ny as f64))
+            })
+            .collect();
+        Fft2d::with_workers(nx, ny, 1).process(&mut buf, Direction::Forward);
+        for (i, z) in buf.iter().enumerate() {
+            let (vx, vy) = (i % nx, i / nx);
+            let expect = if vx == kx && vy == ky { (nx * ny) as f64 } else { 0.0 };
+            assert!((z.re - expect).abs() < 1e-8 && z.im.abs() < 1e-8, "bin ({vx},{vy})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let fft = Fft2d::with_workers(4, 4, 1);
+        let mut buf = vec![Complex64::ZERO; 8];
+        fft.process(&mut buf, Direction::Forward);
+    }
+
+    #[test]
+    fn degenerate_single_column() {
+        let x = random_field(1, 9, 3);
+        let mut fast = x.clone();
+        Fft2d::with_workers(1, 9, 4).process(&mut fast, Direction::Forward);
+        let slow = dft2_reference(&x, 1, 9, Direction::Forward);
+        assert!(max_err(&fast, &slow) < 1e-9);
+    }
+}

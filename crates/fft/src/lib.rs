@@ -1,0 +1,295 @@
+//! From-scratch FFT substrate for the `rrs` workspace.
+//!
+//! The paper's machinery is built on the 2-D DFT (eqns 11–12):
+//!
+//! ```text
+//! F[vx, vy] = Σ_nx Σ_ny f[nx, ny] · e^{-j2π nx vx / Nx} · e^{-j2π ny vy / Ny}
+//! f[nx, ny] = (1 / Nx Ny) Σ Σ F[vx, vy] · e^{+j2π ...}
+//! ```
+//!
+//! This crate implements that transform without external dependencies:
+//!
+//! * [`plan::FftPlan`] — iterative radix-2 decimation-in-time with cached
+//!   twiddles and bit-reversal tables, for power-of-two lengths;
+//! * [`bluestein::Bluestein`] — chirp-z re-expression of arbitrary lengths
+//!   as a power-of-two convolution, so *any* grid size works;
+//! * [`Fft`] — a length-dispatching front end caching whichever engine a
+//!   length needs;
+//! * [`fft2d`] — row–column 2-D transforms with optional multi-threading;
+//! * [`spectral`] — `fftshift`, frequency grids (eqn 13) and the index
+//!   folding of eqn (16).
+//!
+//! Normalisation convention (matching the paper): `forward` carries no
+//! factor, `inverse` carries `1/N` (and `1/(Nx·Ny)` in 2-D), so
+//! `inverse(forward(x)) == x`.
+//!
+//! The naive `O(N²)` [`dft`] module is retained as the test oracle: every
+//! fast path is property-tested against it.
+
+#![warn(missing_docs)]
+
+pub mod bluestein;
+pub mod dft;
+pub mod fft2d;
+pub mod plan;
+pub mod spectral;
+
+use rrs_num::Complex64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+pub use fft2d::Fft2d;
+pub use plan::FftPlan;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{-j2πnk/N}` kernel, no normalisation.
+    Forward,
+    /// `e^{+j2πnk/N}` kernel, `1/N` normalisation.
+    Inverse,
+}
+
+enum Engine {
+    Radix2(plan::FftPlan),
+    Bluestein(bluestein::Bluestein),
+}
+
+/// A one-dimensional FFT of a fixed length, usable for any `len >= 1`.
+///
+/// Construction precomputes all tables; [`Fft::process`] then runs with at
+/// most one scratch allocation per call on the Bluestein path and none on
+/// the radix-2 path.
+pub struct Fft {
+    len: usize,
+    engine: Engine,
+}
+
+impl Fft {
+    /// Prepares a transform of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "FFT length must be positive");
+        let engine = if len.is_power_of_two() {
+            Engine::Radix2(plan::FftPlan::new(len))
+        } else {
+            Engine::Bluestein(bluestein::Bluestein::new(len))
+        };
+        Self { len, engine }
+    }
+
+    /// The transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: zero-length transforms cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transforms `buf` in place.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != self.len()`.
+    pub fn process(&self, buf: &mut [Complex64], dir: Direction) {
+        assert_eq!(buf.len(), self.len, "buffer length mismatch");
+        match &self.engine {
+            Engine::Radix2(p) => p.process(buf, dir),
+            Engine::Bluestein(b) => b.process(buf, dir),
+        }
+    }
+}
+
+/// A shared, thread-safe cache of [`Fft`] instances keyed by length.
+///
+/// 2-D transforms and repeated generator calls reuse plans through this.
+#[derive(Default)]
+pub struct Planner {
+    cache: Mutex<HashMap<usize, Arc<Fft>>>,
+}
+
+impl Planner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches (or creates) the FFT of length `len`.
+    pub fn plan(&self, len: usize) -> Arc<Fft> {
+        let mut cache = self.cache.lock().expect("planner lock poisoned");
+        cache.entry(len).or_insert_with(|| Arc::new(Fft::new(len))).clone()
+    }
+}
+
+/// Convenience: out-of-place forward transform of a real sequence.
+pub fn forward_real(input: &[f64]) -> Vec<Complex64> {
+    let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_re(x)).collect();
+    Fft::new(buf.len().max(1)).process(&mut buf, Direction::Forward);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_reference;
+    use rrs_num::Complex64;
+    use rrs_rng::{RandomSource, Xoshiro256pp};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n).map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_reference_dft_all_lengths() {
+        // Covers radix-2 and Bluestein paths, odd, prime and composite N.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 45, 64, 97, 100, 128] {
+            let x = random_signal(n, n as u64);
+            let mut fast = x.clone();
+            Fft::new(n).process(&mut fast, Direction::Forward);
+            let slow = dft_reference(&x, Direction::Forward);
+            assert!(max_err(&fast, &slow) < 1e-9 * (n as f64).max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [4usize, 6, 9, 16, 27, 64, 100] {
+            let x = random_signal(n, 1000 + n as u64);
+            let mut buf = x.clone();
+            let fft = Fft::new(n);
+            fft.process(&mut buf, Direction::Forward);
+            fft.process(&mut buf, Direction::Inverse);
+            assert!(max_err(&buf, &x) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        // Σ|x|² = (1/N) Σ|X|² with the unnormalised-forward convention.
+        for n in [8usize, 15, 32, 50] {
+            let x = random_signal(n, 7);
+            let mut buf = x.clone();
+            Fft::new(n).process(&mut buf, Direction::Forward);
+            let t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let f: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((t - f).abs() < 1e-10 * t.max(1.0), "n={n}: {t} vs {f}");
+        }
+    }
+
+    #[test]
+    fn linearity_property() {
+        let n = 24;
+        let a = random_signal(n, 1);
+        let b = random_signal(n, 2);
+        let fft = Fft::new(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft.process(&mut fa, Direction::Forward);
+        fft.process(&mut fb, Direction::Forward);
+        let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft.process(&mut sum, Direction::Forward);
+        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&sum, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 16;
+        let mut buf = vec![Complex64::ZERO; n];
+        buf[0] = Complex64::ONE;
+        Fft::new(n).process(&mut buf, Direction::Forward);
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 10; // Bluestein path
+        let mut buf = vec![Complex64::ONE; n];
+        Fft::new(n).process(&mut buf, Direction::Forward);
+        assert!((buf[0].re - n as f64).abs() < 1e-9);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn real_input_is_hermitian() {
+        let n = 32;
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let spec = forward_real(&x);
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a - b).abs() < 1e-10, "k={k}");
+        }
+        assert!(spec[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // x[(n-1) mod N]  ⇔  X[k]·e^{-j2πk/N}
+        let n = 20;
+        let x = random_signal(n, 33);
+        let mut shifted: Vec<Complex64> = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            shifted[(i + 1) % n] = x[i];
+        }
+        let fft = Fft::new(n);
+        let mut fx = x.clone();
+        let mut fs = shifted;
+        fft.process(&mut fx, Direction::Forward);
+        fft.process(&mut fs, Direction::Forward);
+        for k in 0..n {
+            let phase = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            let expect = fx[k] * phase;
+            assert!((fs[k] - expect).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_buffer_length_panics() {
+        let fft = Fft::new(8);
+        let mut buf = vec![Complex64::ZERO; 4];
+        fft.process(&mut buf, Direction::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_length_panics() {
+        Fft::new(0);
+    }
+
+    #[test]
+    fn planner_caches_and_shares() {
+        let planner = Planner::new();
+        let a = planner.plan(64);
+        let b = planner.plan(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = planner.plan(65);
+        assert_eq!(c.len(), 65);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut buf = vec![Complex64::new(3.0, -4.0)];
+        let fft = Fft::new(1);
+        fft.process(&mut buf, Direction::Forward);
+        assert_eq!(buf[0], Complex64::new(3.0, -4.0));
+        fft.process(&mut buf, Direction::Inverse);
+        assert_eq!(buf[0], Complex64::new(3.0, -4.0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Iterative radix-2 decimation-in-time FFT for power-of-two lengths.
+//!
+//! A plan owns the twiddle table (half the unit circle at the finest
+//! granularity, strided for coarser stages) and the bit-reversal
+//! permutation. `process` is allocation-free and in-place, so the 2-D
+//! row–column driver can hammer it across threads (`&FftPlan` is `Sync`).
+
+use crate::Direction;
+use rrs_num::Complex64;
+
+/// A precomputed radix-2 FFT of length `n = 2^k`.
+pub struct FftPlan {
+    n: usize,
+    /// `twiddles[k] = e^{-j 2π k / n}` for `k < n/2`.
+    twiddles: Vec<Complex64>,
+    /// Bit-reversal permutation of `0..n`.
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or exceeds `u32` indexing range.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FftPlan requires a power-of-two length, got {n}");
+        assert!(n <= u32::MAX as usize, "FFT length too large");
+        let half = n / 2;
+        let mut twiddles = Vec::with_capacity(half.max(1));
+        for k in 0..half {
+            twiddles.push(Complex64::cis(-core::f64::consts::TAU * k as f64 / n as f64));
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits.max(1))).collect();
+        // For n == 1, bits == 0; the permutation is the identity [0].
+        let bitrev = if n == 1 { vec![0] } else { bitrev };
+        Self { n, twiddles, bitrev }
+    }
+
+    /// The transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false` (a plan has length ≥ 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place transform of `buf` (`buf.len()` must equal `len()`).
+    pub fn process(&self, buf: &mut [Complex64], dir: Direction) {
+        assert_eq!(buf.len(), self.n, "buffer length mismatch");
+        if self.n == 1 {
+            return;
+        }
+        self.permute(buf);
+        self.butterflies(buf, dir);
+        if dir == Direction::Inverse {
+            let k = 1.0 / self.n as f64;
+            for z in buf.iter_mut() {
+                *z = z.scale(k);
+            }
+        }
+    }
+
+    #[inline]
+    fn permute(&self, buf: &mut [Complex64]) {
+        for (i, &r) in self.bitrev.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                buf.swap(i, r);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex64], dir: Direction) {
+        let n = self.n;
+        let conj = dir == Direction::Inverse;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for chunk in buf.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let t = w * hi[k];
+                    let u = lo[k];
+                    lo[k] = u + t;
+                    hi[k] = u - t;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_reference;
+
+    #[test]
+    fn all_power_of_two_lengths_match_reference() {
+        for exp in 0..=10 {
+            let n = 1usize << exp;
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let mut fast = x.clone();
+            FftPlan::new(n).process(&mut fast, Direction::Forward);
+            let slow = dft_reference(&x, Direction::Forward);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-9 * (n as f64).max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_normalisation() {
+        let n = 8;
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::from_re(i as f64)).collect();
+        let mut buf = x.clone();
+        let plan = FftPlan::new(n);
+        plan.process(&mut buf, Direction::Forward);
+        plan.process(&mut buf, Direction::Inverse);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    fn plan_is_reusable_and_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FftPlan>();
+        let plan = FftPlan::new(16);
+        for seed in 0..4 {
+            let mut buf: Vec<Complex64> =
+                (0..16).map(|i| Complex64::from_re((i + seed) as f64)).collect();
+            let orig = buf.clone();
+            plan.process(&mut buf, Direction::Forward);
+            plan.process(&mut buf, Direction::Inverse);
+            for (a, b) in buf.iter().zip(&orig) {
+                assert!((*a - *b).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_hits_single_bin() {
+        // cos(2π·3n/32) concentrates in bins 3 and 29 with weight N/2.
+        let n = 32;
+        let mut buf: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_re((core::f64::consts::TAU * 3.0 * i as f64 / n as f64).cos()))
+            .collect();
+        FftPlan::new(n).process(&mut buf, Direction::Forward);
+        for (k, z) in buf.iter().enumerate() {
+            let expect = if k == 3 || k == n - 3 { n as f64 / 2.0 } else { 0.0 };
+            assert!((z.re - expect).abs() < 1e-9 && z.im.abs() < 1e-9, "k={k} z={z:?}");
+        }
+    }
+}

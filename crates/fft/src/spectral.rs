@@ -1,0 +1,151 @@
+//! Spectral bookkeeping helpers shared by the spectrum and surface crates.
+//!
+//! * discrete angular frequencies `K_m = 2πm/L` (paper eqn 13);
+//! * the index folding `m → m'` of eqn (16), which maps DFT bin order
+//!   (non-negative then negative frequencies) onto physical `|K|` bins;
+//! * `fftshift`/`ifftshift` for presentation and kernel centring.
+
+use rrs_num::Complex64;
+
+/// Discrete spatial angular frequency of bin `m` on a length-`L` domain:
+/// `K_m = 2πm / L` (eqn 13). `m` may exceed `M`; callers fold first.
+#[inline]
+pub fn angular_frequency(m: usize, domain_length: f64) -> f64 {
+    core::f64::consts::TAU * m as f64 / domain_length
+}
+
+/// The paper's index folding (eqn 16): for a transform with `2M` bins,
+/// bins `0..M` carry frequencies `0..M` and bins `M..2M` carry the
+/// negative frequencies `M..0`, so the *physical* frequency index is
+///
+/// ```text
+/// m' = m        (0 ≤ m < M)
+/// m' = 2M − m   (M ≤ m < 2M)
+/// ```
+#[inline]
+pub fn fold_index(m: usize, half: usize) -> usize {
+    debug_assert!(m < 2 * half, "bin {m} out of range for M={half}");
+    if m < half {
+        m
+    } else {
+        2 * half - m
+    }
+}
+
+/// The kernel permutation of eqn (35): maps centred kernel index `k` to
+/// DFT-ordered index, `k' = k + M (k < M)`, `k' = k − M (k ≥ M)`.
+/// Self-inverse for even lengths `2M`.
+#[inline]
+pub fn swap_halves_index(k: usize, half: usize) -> usize {
+    debug_assert!(k < 2 * half);
+    if k < half {
+        k + half
+    } else {
+        k - half
+    }
+}
+
+/// Circularly rotates a 1-D spectrum so the zero bin moves to the centre.
+pub fn fftshift<T: Copy>(buf: &mut [T]) {
+    let n = buf.len();
+    buf.rotate_left(n.div_ceil(2));
+}
+
+/// Inverse of [`fftshift`]; identical for even lengths.
+pub fn ifftshift<T: Copy>(buf: &mut [T]) {
+    let n = buf.len();
+    buf.rotate_right(n.div_ceil(2));
+}
+
+/// 2-D fftshift of a row-major `nx × ny` buffer (both axes).
+pub fn fftshift2<T: Copy>(buf: &mut [T], nx: usize, ny: usize) {
+    assert_eq!(buf.len(), nx * ny, "fftshift2: bad shape");
+    for row in buf.chunks_exact_mut(nx) {
+        fftshift(row);
+    }
+    // Column shift via row-block rotation.
+    let shift_rows = ny.div_ceil(2);
+    rotate_rows_left(buf, nx, shift_rows);
+}
+
+fn rotate_rows_left<T: Copy>(buf: &mut [T], nx: usize, rows: usize) {
+    buf.rotate_left(rows * nx);
+}
+
+/// Sum of squared magnitudes — the discrete power used in Parseval checks.
+pub fn power(buf: &[Complex64]) -> f64 {
+    buf.iter().map(|z| z.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angular_frequency_basics() {
+        let k1 = angular_frequency(1, 100.0);
+        assert!((k1 - core::f64::consts::TAU / 100.0).abs() < 1e-15);
+        assert_eq!(angular_frequency(0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn fold_index_symmetry() {
+        let half = 8;
+        assert_eq!(fold_index(0, half), 0);
+        assert_eq!(fold_index(3, half), 3);
+        assert_eq!(fold_index(8, half), 8);
+        assert_eq!(fold_index(9, half), 7);
+        assert_eq!(fold_index(15, half), 1);
+        // Bin m and bin 2M−m carry the same |K|.
+        for m in 1..half {
+            assert_eq!(fold_index(m, half), fold_index(2 * half - m, half));
+        }
+    }
+
+    #[test]
+    fn swap_halves_is_self_inverse_even() {
+        let half = 6;
+        for k in 0..2 * half {
+            assert_eq!(swap_halves_index(swap_halves_index(k, half), half), k);
+        }
+        assert_eq!(swap_halves_index(0, half), half);
+        assert_eq!(swap_halves_index(half, half), 0);
+    }
+
+    #[test]
+    fn fftshift_even_and_odd() {
+        let mut even = [0, 1, 2, 3];
+        fftshift(&mut even);
+        assert_eq!(even, [2, 3, 0, 1]);
+        let mut odd = [0, 1, 2, 3, 4];
+        fftshift(&mut odd);
+        assert_eq!(odd, [3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shift_then_ishift_is_identity() {
+        for n in [1usize, 2, 5, 8, 9] {
+            let orig: Vec<usize> = (0..n).collect();
+            let mut buf = orig.clone();
+            fftshift(&mut buf);
+            ifftshift(&mut buf);
+            assert_eq!(buf, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fftshift2_moves_origin_to_centre() {
+        let nx = 4;
+        let ny = 4;
+        let mut buf: Vec<usize> = (0..nx * ny).collect();
+        fftshift2(&mut buf, nx, ny);
+        // The (0,0) element must land at (nx/2, ny/2).
+        assert_eq!(buf[(ny / 2) * nx + nx / 2], 0);
+    }
+
+    #[test]
+    fn power_is_sum_of_norms() {
+        let buf = [Complex64::new(3.0, 4.0), Complex64::new(1.0, 0.0)];
+        assert_eq!(power(&buf), 26.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! 1-D profiles extracted from 2-D surfaces.
+//!
+//! The paper's motivating application (propagation along a terrain) works
+//! on 1-D height profiles cut out of the generated 2-D surface; this module
+//! provides row, column and arbitrary-direction (Bresenham-sampled) cuts.
+
+use crate::Grid2;
+
+/// A 1-D height profile with uniform sample spacing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Profile {
+    /// Sample spacing along the cut, in grid units.
+    pub spacing: f64,
+    /// Heights along the cut.
+    pub heights: Vec<f64>,
+}
+
+impl Profile {
+    /// Length of the cut in grid units.
+    pub fn length(&self) -> f64 {
+        if self.heights.len() < 2 {
+            return 0.0;
+        }
+        self.spacing * (self.heights.len() - 1) as f64
+    }
+
+    /// Distance of sample `i` from the start of the cut.
+    pub fn distance(&self, i: usize) -> f64 {
+        self.spacing * i as f64
+    }
+}
+
+/// Extracts row `iy` as a profile with unit spacing.
+pub fn extract_row(g: &Grid2<f64>, iy: usize) -> Profile {
+    Profile { spacing: 1.0, heights: g.row(iy).to_vec() }
+}
+
+/// Extracts column `ix` as a profile with unit spacing.
+pub fn extract_column(g: &Grid2<f64>, ix: usize) -> Profile {
+    assert!(ix < g.nx(), "column {ix} out of bounds");
+    Profile { spacing: 1.0, heights: (0..g.ny()).map(|iy| *g.get(ix, iy)).collect() }
+}
+
+/// Extracts a straight cut from `(x0, y0)` to `(x1, y1)` with `n` samples,
+/// bilinearly interpolating the height field.
+///
+/// # Panics
+/// Panics if the endpoints fall outside the grid or `n < 2`.
+pub fn extract_profile(g: &Grid2<f64>, start: (f64, f64), end: (f64, f64), n: usize) -> Profile {
+    assert!(n >= 2, "a profile needs at least 2 samples");
+    let (x0, y0) = start;
+    let (x1, y1) = end;
+    let inside = |x: f64, y: f64| {
+        x >= 0.0 && y >= 0.0 && x <= (g.nx() - 1) as f64 && y <= (g.ny() - 1) as f64
+    };
+    assert!(inside(x0, y0) && inside(x1, y1), "profile endpoints out of bounds");
+    let total = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+    let spacing = total / (n - 1) as f64;
+    let heights = (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            let x = x0 + t * (x1 - x0);
+            let y = y0 + t * (y1 - y0);
+            sample_bilinear(g, x, y)
+        })
+        .collect();
+    Profile { spacing, heights }
+}
+
+/// Bilinear height sample at fractional coordinates.
+pub fn sample_bilinear(g: &Grid2<f64>, x: f64, y: f64) -> f64 {
+    let ix = (x.floor() as usize).min(g.nx() - 2.min(g.nx() - 1));
+    let iy = (y.floor() as usize).min(g.ny() - 2.min(g.ny() - 1));
+    let tx = (x - ix as f64).clamp(0.0, 1.0);
+    let ty = (y - iy as f64).clamp(0.0, 1.0);
+    let ix1 = (ix + 1).min(g.nx() - 1);
+    let iy1 = (iy + 1).min(g.ny() - 1);
+    rrs_num::interp::bilerp(*g.get(ix, iy), *g.get(ix1, iy), *g.get(ix, iy1), *g.get(ix1, iy1), tx, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_grid() -> Grid2<f64> {
+        // f(x, y) = x + 2y — linear, so bilinear sampling is exact.
+        Grid2::from_fn(8, 8, |x, y| x as f64 + 2.0 * y as f64)
+    }
+
+    #[test]
+    fn row_and_column_extraction() {
+        let g = ramp_grid();
+        let r = extract_row(&g, 3);
+        assert_eq!(r.heights.len(), 8);
+        assert_eq!(r.heights[5], 5.0 + 6.0);
+        let c = extract_column(&g, 2);
+        assert_eq!(c.heights.len(), 8);
+        assert_eq!(c.heights[4], 2.0 + 8.0);
+    }
+
+    #[test]
+    fn profile_length_and_distance() {
+        let p = Profile { spacing: 2.0, heights: vec![0.0; 5] };
+        assert_eq!(p.length(), 8.0);
+        assert_eq!(p.distance(3), 6.0);
+        let empty = Profile { spacing: 1.0, heights: vec![] };
+        assert_eq!(empty.length(), 0.0);
+    }
+
+    #[test]
+    fn diagonal_profile_is_exact_on_linear_field() {
+        let g = ramp_grid();
+        let p = extract_profile(&g, (0.0, 0.0), (7.0, 7.0), 15);
+        assert_eq!(p.heights.len(), 15);
+        for (i, &h) in p.heights.iter().enumerate() {
+            let t = i as f64 / 14.0;
+            let expect = 7.0 * t + 2.0 * 7.0 * t;
+            assert!((h - expect).abs() < 1e-12, "i={i} h={h} expect={expect}");
+        }
+        let expect_spacing = (2.0f64 * 49.0).sqrt() / 14.0;
+        assert!((p.spacing - expect_spacing).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizontal_fractional_profile() {
+        let g = ramp_grid();
+        let p = extract_profile(&g, (0.5, 2.0), (6.5, 2.0), 7);
+        for (i, &h) in p.heights.iter().enumerate() {
+            let x = 0.5 + i as f64;
+            assert!((h - (x + 4.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_profile_panics() {
+        extract_profile(&ramp_grid(), (0.0, 0.0), (100.0, 0.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_profile_panics() {
+        extract_profile(&ramp_grid(), (0.0, 0.0), (1.0, 0.0), 1);
+    }
+
+    #[test]
+    fn bilinear_sample_at_nodes_matches_grid() {
+        let g = ramp_grid();
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(sample_bilinear(&g, x as f64, y as f64), *g.get(x, y));
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The inhomogeneous convolution generator (eqns 37 and 46).
+//!
+//! A [`WeightMap`] answers "which kernels, with what weights, at this
+//! sample"; the generator evaluates, for every output sample `n`,
+//!
+//! ```text
+//! f(n) = Σ_i g_i(n) · (w̃_i ⊛ X)(n)
+//! ```
+//!
+//! which by linearity equals convolving the blended kernel
+//! `Σ_i g_i(n)·w̃_i` of eqns (37)/(46) with the noise. Samples where only
+//! one kernel is active (the bulk of the surface) cost exactly one
+//! homogeneous-kernel dot product.
+
+use rrs_grid::Grid2;
+use rrs_spectrum::SpectrumModel;
+use rrs_surface::{ConvolutionKernel, KernelSizing, NoiseField};
+
+/// Assigns per-sample kernel weights; implemented by
+/// [`crate::PlateLayout`] and [`crate::PointLayout`].
+pub trait WeightMap: Send + Sync {
+    /// Number of kernels the map refers to.
+    fn kernel_count(&self) -> usize;
+
+    /// The spectra backing each kernel index, in order.
+    fn spectra(&self) -> Vec<SpectrumModel>;
+
+    /// Writes the non-zero `(kernel_index, weight)` pairs at `(x, y)` into
+    /// `out` (cleared first). Weights are non-negative and sum to 1.
+    fn weights_at(&self, x: f64, y: f64, out: &mut Vec<(usize, f64)>);
+}
+
+impl WeightMap for Box<dyn WeightMap> {
+    fn kernel_count(&self) -> usize {
+        (**self).kernel_count()
+    }
+    fn spectra(&self) -> Vec<SpectrumModel> {
+        (**self).spectra()
+    }
+    fn weights_at(&self, x: f64, y: f64, out: &mut Vec<(usize, f64)>) {
+        (**self).weights_at(x, y, out)
+    }
+}
+
+/// Inhomogeneous surface generator over any [`WeightMap`].
+pub struct InhomogeneousGenerator<M> {
+    map: M,
+    kernels: Vec<ConvolutionKernel>,
+    workers: usize,
+    // Precomputed reaches for noise-window sizing.
+    reach_left: i64,
+    reach_right: i64,
+    reach_down: i64,
+    reach_up: i64,
+}
+
+impl<M: WeightMap> InhomogeneousGenerator<M> {
+    /// Builds the generator, constructing one kernel per map entry with
+    /// the given sizing policy.
+    pub fn new(map: M, sizing: KernelSizing) -> Self {
+        let kernels = map
+            .spectra()
+            .iter()
+            .map(|s| ConvolutionKernel::build(s, sizing))
+            .collect();
+        Self::from_kernels(map, kernels)
+    }
+
+    /// Builds the generator with kernel truncation (`epsilon` relative
+    /// root-energy loss) — the ablation knob for transition fidelity vs
+    /// speed.
+    pub fn new_truncated(map: M, sizing: KernelSizing, epsilon: f64) -> Self {
+        let kernels = map
+            .spectra()
+            .iter()
+            .map(|s| ConvolutionKernel::build(s, sizing).truncated(epsilon))
+            .collect();
+        Self::from_kernels(map, kernels)
+    }
+
+    /// Wraps explicit kernels (must match `map.kernel_count()`).
+    pub fn from_kernels(map: M, kernels: Vec<ConvolutionKernel>) -> Self {
+        assert_eq!(
+            kernels.len(),
+            map.kernel_count(),
+            "kernel count must match the weight map"
+        );
+        assert!(!kernels.is_empty(), "need at least one kernel");
+        let mut reach_left = 0i64;
+        let mut reach_right = 0i64;
+        let mut reach_down = 0i64;
+        let mut reach_up = 0i64;
+        for k in &kernels {
+            let (w, h) = k.extent();
+            let (ox, oy) = k.origin();
+            reach_left = reach_left.max(ox + w as i64 - 1);
+            reach_right = reach_right.max(-ox);
+            reach_down = reach_down.max(oy + h as i64 - 1);
+            reach_up = reach_up.max(-oy);
+        }
+        Self {
+            map,
+            kernels,
+            workers: rrs_par::default_workers(),
+            reach_left,
+            reach_right,
+            reach_down,
+            reach_up,
+        }
+    }
+
+    /// Sets the worker count (output is identical for any value).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The kernels, in map order.
+    pub fn kernels(&self) -> &[ConvolutionKernel] {
+        &self.kernels
+    }
+
+    /// The weight map.
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
+    /// inhomogeneous surface driven by `noise`. Windows tile seamlessly.
+    pub fn generate_window(
+        &self,
+        noise: &NoiseField,
+        x0: i64,
+        y0: i64,
+        nx: usize,
+        ny: usize,
+    ) -> Grid2<f64> {
+        assert!(nx > 0 && ny > 0, "window must be non-empty");
+        let wx0 = x0 - self.reach_left;
+        let wy0 = y0 - self.reach_down;
+        let ww = nx + (self.reach_left + self.reach_right) as usize;
+        let wh = ny + (self.reach_down + self.reach_up) as usize;
+        let win = noise.window(wx0, wy0, ww, wh);
+
+        let mut out = Grid2::zeros(nx, ny);
+        let out_slice = out.as_mut_slice();
+        rrs_par::par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
+            let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
+            for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
+                let iy = iy0 + row_off;
+                let gy = y0 + iy as i64;
+                for (ix, slot) in row.iter_mut().enumerate() {
+                    let gx = x0 + ix as i64;
+                    self.map.weights_at(gx as f64, gy as f64, &mut weights);
+                    let mut acc = 0.0;
+                    for &(ki, g) in &weights {
+                        acc += g * self.kernel_dot(ki, &win, ww, gx - wx0, gy - wy0);
+                    }
+                    *slot = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Evaluates `(w̃_ki ⊛ X)(n)` for the sample at window-local
+    /// coordinates `(lx, ly)`.
+    #[inline]
+    fn kernel_dot(&self, ki: usize, win: &[f64], ww: usize, lx: i64, ly: i64) -> f64 {
+        let kernel = &self.kernels[ki];
+        let (kw, kh) = kernel.extent();
+        let (ox, oy) = kernel.origin();
+        let weights = kernel.weights();
+        let mut acc = 0.0;
+        for b in 0..kh {
+            let jy = oy + b as i64;
+            let wy = (ly - jy) as usize;
+            let krow = weights.row(b);
+            // X(n−j) with jx = ox + a: window x index = lx − ox − a.
+            let base = (lx - ox) as usize;
+            let wrow = &win[wy * ww + base + 1 - kw..=wy * ww + base];
+            let mut s = 0.0;
+            for (a, &kv) in krow.iter().enumerate() {
+                s += kv * wrow[kw - 1 - a];
+            }
+            acc += s;
+        }
+        acc
+    }
+
+    /// Convenience: generate the `[0, nx) × [0, ny)` window from a seed.
+    pub fn generate(&self, seed: u64, nx: usize, ny: usize) -> Grid2<f64> {
+        self.generate_window(&NoiseField::new(seed), 0, 0, nx, ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plate::{quadrant_layout, Plate, PlateLayout};
+    use crate::point::{PointLayout, RepresentativePoint};
+    use crate::region::Region;
+    use rrs_spectrum::{SpectrumModel, SurfaceParams};
+
+    fn sm(h: f64, cl: f64) -> SpectrumModel {
+        SpectrumModel::gaussian(SurfaceParams::isotropic(h, cl))
+    }
+
+    fn sizing() -> KernelSizing {
+        KernelSizing::Auto { factor: 8.0, min: 16, max: 128 }
+    }
+
+    #[test]
+    fn homogeneous_map_reduces_to_homogeneous_generator() {
+        // A single-plate layout must reproduce the homogeneous convolution
+        // generator exactly (same kernel, same noise).
+        let spectrum = sm(1.2, 5.0);
+        let layout = PlateLayout::new(vec![], Some(spectrum), 1.0);
+        let kernel = ConvolutionKernel::build(&spectrum, sizing());
+        let inh = InhomogeneousGenerator::from_kernels(layout, vec![kernel.clone()])
+            .with_workers(1);
+        let hom = rrs_surface::ConvolutionGenerator::from_kernel(kernel).with_workers(1);
+        let noise = NoiseField::new(7);
+        let a = inh.generate_window(&noise, -3, 4, 40, 24);
+        let b = hom.generate_window(&noise, -3, 4, 40, 24);
+        let err = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-12, "max err {err}");
+    }
+
+    #[test]
+    fn quadrants_have_their_target_statistics() {
+        // A miniature Figure 1: four quadrants with different (h, cl).
+        let n = 192usize;
+        let layout = quadrant_layout(
+            n as f64,
+            n as f64,
+            [sm(1.0, 4.0), sm(1.5, 6.0), sm(2.0, 8.0), sm(1.5, 6.0)],
+            8.0,
+        );
+        let gen = InhomogeneousGenerator::new(layout, sizing());
+        let f = gen.generate(3, n, n);
+        // Estimate h deep inside each quadrant (margin avoids transitions).
+        let m = 24usize;
+        let h_q1 = f.window(n / 2 + m, n / 2 + m, n / 2 - 2 * m, n / 2 - 2 * m).std_dev();
+        let h_q2 = f.window(m, n / 2 + m, n / 2 - 2 * m, n / 2 - 2 * m).std_dev();
+        let h_q3 = f.window(m, m, n / 2 - 2 * m, n / 2 - 2 * m).std_dev();
+        let h_q4 = f.window(n / 2 + m, m, n / 2 - 2 * m, n / 2 - 2 * m).std_dev();
+        for (got, want) in [(h_q1, 1.0), (h_q2, 1.5), (h_q3, 2.0), (h_q4, 1.5)] {
+            // Few independent patches per quadrant ⇒ generous tolerance.
+            assert!((got - want).abs() < 0.45 * want, "ĥ = {got}, target {want}");
+        }
+        // Ordering must hold strictly: q3 roughest, q1 smoothest.
+        assert!(h_q3 > h_q2 && h_q2 > h_q1);
+        assert!(h_q3 > h_q4 && h_q4 > h_q1);
+    }
+
+    #[test]
+    fn windows_tile_seamlessly() {
+        let layout = quadrant_layout(
+            64.0,
+            64.0,
+            [sm(1.0, 4.0), sm(1.5, 5.0), sm(2.0, 6.0), sm(1.5, 5.0)],
+            6.0,
+        );
+        let gen = InhomogeneousGenerator::new(layout, sizing()).with_workers(2);
+        let noise = NoiseField::new(9);
+        let whole = gen.generate_window(&noise, 0, 0, 64, 64);
+        let part = gen.generate_window(&noise, 16, 24, 32, 20);
+        for iy in 0..20 {
+            for ix in 0..32 {
+                assert_eq!(*part.get(ix, iy), *whole.get(ix + 16, iy + 24));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let layout = quadrant_layout(
+            48.0,
+            48.0,
+            [sm(1.0, 4.0), sm(1.5, 5.0), sm(2.0, 6.0), sm(1.5, 5.0)],
+            6.0,
+        );
+        let k: Vec<_> = layout
+            .spectra()
+            .iter()
+            .map(|s| ConvolutionKernel::build(s, sizing()))
+            .collect();
+        let a = InhomogeneousGenerator::from_kernels(layout.clone(), k.clone())
+            .with_workers(1)
+            .generate(5, 48, 48);
+        let b = InhomogeneousGenerator::from_kernels(layout, k)
+            .with_workers(6)
+            .generate(5, 48, 48);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn circular_pond_is_smoother_than_field() {
+        // Miniature Figure 3: exponential pond in a gaussian field.
+        let pond = Plate {
+            region: Region::Circle { cx: 64.0, cy: 64.0, r: 32.0 },
+            spectrum: SpectrumModel::exponential(SurfaceParams::isotropic(0.2, 6.0)),
+        };
+        let layout = PlateLayout::new(vec![pond], Some(sm(1.0, 6.0)), 10.0);
+        let gen = InhomogeneousGenerator::new(layout, sizing());
+        let f = gen.generate(11, 128, 128);
+        let inside = f.window(52, 52, 24, 24).std_dev();
+        let outside = f.window(0, 0, 24, 24).std_dev();
+        assert!(inside < 0.5, "pond ĥ = {inside}");
+        assert!(outside > 0.55, "field ĥ = {outside}");
+    }
+
+    #[test]
+    fn point_oriented_cells_have_target_statistics() {
+        let pts = vec![
+            RepresentativePoint { x: 0.0, y: 0.0, spectrum: sm(0.5, 4.0) },
+            RepresentativePoint { x: 96.0, y: 0.0, spectrum: sm(2.0, 8.0) },
+        ];
+        let layout = PointLayout::new(pts, 12.0);
+        let gen = InhomogeneousGenerator::new(layout, sizing());
+        let f = gen.generate_window(&NoiseField::new(17), -48, -48, 192, 96);
+        // Cell of point 0: x in [-48, 36) roughly; stay well clear of the
+        // bisector at x = 48 (window-local 96).
+        let left = f.window(8, 8, 64, 80).std_dev();
+        let right = f.window(120, 8, 64, 80).std_dev();
+        assert!((left - 0.5).abs() < 0.3, "left ĥ = {left}");
+        assert!((right - 2.0).abs() < 0.8, "right ĥ = {right}");
+        assert!(right > 2.0 * left);
+    }
+
+    #[test]
+    fn transition_interpolates_monotonically() {
+        // Across a two-plate boundary, a windowed std profile should rise
+        // from ~h1 to ~h2 without overshooting wildly.
+        let left = Plate {
+            region: Region::HalfPlane { a: 1.0, b: 0.0, c: 64.0 },
+            spectrum: sm(0.5, 4.0),
+        };
+        let layout = PlateLayout::new(vec![left], Some(sm(2.0, 4.0)), 16.0);
+        let gen = InhomogeneousGenerator::new(layout, sizing());
+        let f = gen.generate(23, 128, 256);
+        // Column-band std profile along x.
+        let band = 8usize;
+        let mut profile = Vec::new();
+        for bx in (0..128).step_by(band) {
+            profile.push(f.window(bx, 0, band, 256).std_dev());
+        }
+        let first = profile.first().copied().unwrap();
+        let last = profile.last().copied().unwrap();
+        assert!(first < 0.8, "left side ĥ = {first}");
+        assert!(last > 1.5, "right side ĥ = {last}");
+        // Rough monotonicity: each step may wiggle by sampling noise but
+        // the cumulative trend must be increasing.
+        let mid = profile[profile.len() / 2];
+        assert!(mid > first && mid < last * 1.2, "profile {profile:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel count must match")]
+    fn kernel_count_mismatch_rejected() {
+        let layout = PlateLayout::new(vec![], Some(sm(1.0, 4.0)), 1.0);
+        let _ = InhomogeneousGenerator::from_kernels(layout, vec![]);
+    }
+}

@@ -1,0 +1,349 @@
+//! The plate-oriented method (paper §3.1, eqns 37–39).
+//!
+//! The domain is covered by regions ("plates"), each with its own spectrum.
+//! A sample's kernel is the membership-weighted blend of the plate
+//! kernels; membership ramps linearly from 1 to 0 as the sample's signed
+//! distance to the plate boundary crosses the transition strip
+//! `[-T/2, +T/2]` — at a straight boundary between two adjoining plates
+//! this reproduces exactly the linear transition functions of eqns 38–39.
+
+use crate::generator::WeightMap;
+use crate::region::Region;
+use rrs_spectrum::SpectrumModel;
+
+/// Shape of the membership ramp across the transition strip.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransitionProfile {
+    /// The paper's linear interpolation (eqns 38–39).
+    #[default]
+    Linear,
+    /// A C¹ smoothstep ramp — an extension knob; statistically very
+    /// close to linear but without the kinks at the strip edges.
+    Smooth,
+}
+
+/// One region with its surface statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Plate {
+    /// The geometric region.
+    pub region: Region,
+    /// The spectrum inside it.
+    pub spectrum: SpectrumModel,
+}
+
+/// A plate-oriented layout: a list of plates, an optional background
+/// spectrum filling everything no plate claims, and the transition width.
+#[derive(Clone, Debug)]
+pub struct PlateLayout {
+    plates: Vec<Plate>,
+    background: Option<SpectrumModel>,
+    transition: f64,
+    profile: TransitionProfile,
+}
+
+impl PlateLayout {
+    /// Builds a layout. `transition` is the full width `T` of the blend
+    /// strip straddling each plate boundary (use a small value, not zero,
+    /// for sharp edges).
+    ///
+    /// # Panics
+    /// Panics if no plates are given and there is no background, or if
+    /// `transition` is not positive and finite.
+    pub fn new(plates: Vec<Plate>, background: Option<SpectrumModel>, transition: f64) -> Self {
+        assert!(
+            !plates.is_empty() || background.is_some(),
+            "a layout needs at least one plate or a background"
+        );
+        assert!(
+            transition.is_finite() && transition > 0.0,
+            "transition width must be positive, got {transition}"
+        );
+        Self { plates, background, transition, profile: TransitionProfile::Linear }
+    }
+
+    /// Selects the transition ramp shape (the paper uses linear).
+    pub fn with_profile(mut self, profile: TransitionProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The plates, in kernel-index order.
+    pub fn plates(&self) -> &[Plate] {
+        &self.plates
+    }
+
+    /// The background spectrum, if any; its kernel index is
+    /// `plates().len()`.
+    pub fn background(&self) -> Option<&SpectrumModel> {
+        self.background.as_ref()
+    }
+
+    /// Transition strip width `T`.
+    pub fn transition(&self) -> f64 {
+        self.transition
+    }
+
+    /// Raw (unnormalised) membership of plate `i` at `(x, y)`:
+    /// 1 deep inside, 0 beyond the strip, linear across it.
+    fn membership(&self, i: usize, x: f64, y: f64) -> f64 {
+        let sd = self.plates[i].region.signed_distance(x, y);
+        let t = rrs_num::interp::clamp(0.5 - sd / self.transition, 0.0, 1.0);
+        match self.profile {
+            TransitionProfile::Linear => t,
+            TransitionProfile::Smooth => t * t * (3.0 - 2.0 * t),
+        }
+    }
+}
+
+impl WeightMap for PlateLayout {
+    fn kernel_count(&self) -> usize {
+        self.plates.len() + usize::from(self.background.is_some())
+    }
+
+    fn spectra(&self) -> Vec<SpectrumModel> {
+        let mut v: Vec<SpectrumModel> = self.plates.iter().map(|p| p.spectrum).collect();
+        if let Some(bg) = self.background {
+            v.push(bg);
+        }
+        v
+    }
+
+    fn weights_at(&self, x: f64, y: f64, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        let mut total = 0.0;
+        for i in 0..self.plates.len() {
+            let m = self.membership(i, x, y);
+            if m > 0.0 {
+                out.push((i, m));
+                total += m;
+            }
+        }
+        if let Some(_bg) = &self.background {
+            // The background soaks up whatever membership the plates left.
+            let bg = (1.0 - total).max(0.0);
+            if bg > 0.0 {
+                out.push((self.plates.len(), bg));
+                total += bg;
+            }
+        }
+        if out.is_empty() {
+            // No plate within reach and no background: fall back to the
+            // nearest plate so every sample has statistics.
+            let nearest = (0..self.plates.len())
+                .min_by(|&a, &b| {
+                    let da = self.plates[a].region.signed_distance(x, y);
+                    let db = self.plates[b].region.signed_distance(x, y);
+                    da.partial_cmp(&db).expect("NaN distance")
+                })
+                .expect("at least one plate");
+            out.push((nearest, 1.0));
+            return;
+        }
+        if (total - 1.0).abs() > 1e-12 {
+            for w in out.iter_mut() {
+                w.1 /= total;
+            }
+        }
+    }
+}
+
+/// Builds the four-quadrant layout of the paper's Figures 1–2: quadrant
+/// `q` (1-based, counter-clockwise from the upper-right as in the paper)
+/// of the `[0, nx] × [0, ny]` domain gets `spectra[q-1]`. `transition` is
+/// the blend width across the internal boundaries.
+pub fn quadrant_layout(
+    nx: f64,
+    ny: f64,
+    spectra: [SpectrumModel; 4],
+    transition: f64,
+) -> PlateLayout {
+    let hx = nx / 2.0;
+    let hy = ny / 2.0;
+    let plates = vec![
+        // First quadrant: upper-right.
+        Plate { region: Region::Rect { x0: hx, y0: hy, x1: nx, y1: ny }, spectrum: spectra[0] },
+        // Second: upper-left.
+        Plate { region: Region::Rect { x0: 0.0, y0: hy, x1: hx, y1: ny }, spectrum: spectra[1] },
+        // Third: lower-left.
+        Plate { region: Region::Rect { x0: 0.0, y0: 0.0, x1: hx, y1: hy }, spectrum: spectra[2] },
+        // Fourth: lower-right.
+        Plate { region: Region::Rect { x0: hx, y0: 0.0, x1: nx, y1: hy }, spectrum: spectra[3] },
+    ];
+    PlateLayout::new(plates, None, transition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_spectrum::SurfaceParams;
+
+    fn sm(h: f64, cl: f64) -> SpectrumModel {
+        SpectrumModel::gaussian(SurfaceParams::isotropic(h, cl))
+    }
+
+    fn quad() -> PlateLayout {
+        quadrant_layout(
+            100.0,
+            100.0,
+            [sm(1.0, 4.0), sm(1.5, 6.0), sm(2.0, 8.0), sm(1.5, 6.0)],
+            10.0,
+        )
+    }
+
+    #[test]
+    fn pure_region_has_single_weight() {
+        let l = quad();
+        let mut w = Vec::new();
+        l.weights_at(75.0, 75.0, &mut w); // deep in quadrant 1
+        assert_eq!(w, vec![(0, 1.0)]);
+        l.weights_at(25.0, 75.0, &mut w); // quadrant 2
+        assert_eq!(w, vec![(1, 1.0)]);
+        l.weights_at(25.0, 25.0, &mut w); // quadrant 3
+        assert_eq!(w, vec![(2, 1.0)]);
+        l.weights_at(75.0, 25.0, &mut w); // quadrant 4
+        assert_eq!(w, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn transition_is_linear_and_normalised() {
+        let l = quad();
+        let mut w = Vec::new();
+        // Crossing the vertical boundary x = 50 at y = 75 blends
+        // quadrants 1 and 2; membership must be linear in x.
+        for i in 0..=10 {
+            let x = 45.0 + i as f64; // spans the strip [45, 55]
+            l.weights_at(x, 75.0, &mut w);
+            let total: f64 = w.iter().map(|&(_, v)| v).sum();
+            assert!((total - 1.0).abs() < 1e-12, "weights must sum to 1");
+            let w1 = w.iter().find(|&&(k, _)| k == 0).map_or(0.0, |&(_, v)| v);
+            let expect = rrs_num::interp::unit_ramp(x, 45.0, 55.0);
+            assert!((w1 - expect).abs() < 1e-9, "x={x}: {w1} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn quadrant_meeting_point_blends_all_four() {
+        let l = quad();
+        let mut w = Vec::new();
+        l.weights_at(50.0, 50.0, &mut w);
+        assert_eq!(w.len(), 4);
+        let total: f64 = w.iter().map(|&(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for &(_, v) in &w {
+            assert!((v - 0.25).abs() < 1e-9, "centre should blend equally, got {w:?}");
+        }
+    }
+
+    #[test]
+    fn circle_with_background_covers_plane() {
+        // The Figure 3 layout: a pond in a field.
+        let pond = Plate {
+            region: Region::Circle { cx: 0.0, cy: 0.0, r: 500.0 },
+            spectrum: sm(0.2, 50.0),
+        };
+        let l = PlateLayout::new(vec![pond], Some(sm(1.0, 50.0)), 100.0);
+        let mut w = Vec::new();
+        // Deep inside the pond.
+        l.weights_at(0.0, 0.0, &mut w);
+        assert_eq!(w, vec![(0, 1.0)]);
+        // Far outside: all background.
+        l.weights_at(2000.0, 0.0, &mut w);
+        assert_eq!(w, vec![(1, 1.0)]);
+        // On the rim: an even blend.
+        l.weights_at(500.0, 0.0, &mut w);
+        let total: f64 = w.iter().map(|&(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(w.len(), 2);
+        assert!((w[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_background_gap_falls_back_to_nearest() {
+        let a = Plate {
+            region: Region::Circle { cx: 0.0, cy: 0.0, r: 10.0 },
+            spectrum: sm(1.0, 4.0),
+        };
+        let b = Plate {
+            region: Region::Circle { cx: 100.0, cy: 0.0, r: 10.0 },
+            spectrum: sm(2.0, 4.0),
+        };
+        let l = PlateLayout::new(vec![a, b], None, 4.0);
+        let mut w = Vec::new();
+        l.weights_at(30.0, 0.0, &mut w); // in the gap, nearer plate 0
+        assert_eq!(w, vec![(0, 1.0)]);
+        l.weights_at(70.0, 0.0, &mut w); // nearer plate 1
+        assert_eq!(w, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn spectra_order_matches_kernel_indices() {
+        let l = quad();
+        let spectra = l.spectra();
+        assert_eq!(spectra.len(), 4);
+        assert_eq!(spectra[0], sm(1.0, 4.0));
+        assert_eq!(spectra[2], sm(2.0, 8.0));
+        assert_eq!(l.kernel_count(), 4);
+
+        let with_bg = PlateLayout::new(
+            vec![Plate {
+                region: Region::Circle { cx: 0.0, cy: 0.0, r: 5.0 },
+                spectrum: sm(1.0, 3.0),
+            }],
+            Some(sm(0.5, 2.0)),
+            1.0,
+        );
+        assert_eq!(with_bg.kernel_count(), 2);
+        assert_eq!(with_bg.spectra()[1], sm(0.5, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "transition width must be positive")]
+    fn zero_transition_rejected() {
+        PlateLayout::new(vec![], Some(sm(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plate or a background")]
+    fn empty_layout_rejected() {
+        PlateLayout::new(vec![], None, 1.0);
+    }
+
+    #[test]
+    fn smooth_profile_matches_linear_at_anchors() {
+        let layout = |p: TransitionProfile| {
+            PlateLayout::new(
+                vec![Plate {
+                    region: Region::HalfPlane { a: 1.0, b: 0.0, c: 50.0 },
+                    spectrum: sm(1.0, 4.0),
+                }],
+                Some(sm(2.0, 4.0)),
+                20.0,
+            )
+            .with_profile(p)
+        };
+        let lin = layout(TransitionProfile::Linear);
+        let smo = layout(TransitionProfile::Smooth);
+        let w_of = |l: &PlateLayout, x: f64| {
+            let mut w = Vec::new();
+            l.weights_at(x, 0.0, &mut w);
+            w.iter().find(|&&(k, _)| k == 0).map_or(0.0, |&(_, v)| v)
+        };
+        // Agreement at the strip edges and the midpoint.
+        for x in [30.0, 50.0, 70.0] {
+            assert!((w_of(&lin, x) - w_of(&smo, x)).abs() < 1e-12, "x={x}");
+        }
+        // Divergence at the quarter point: smoothstep lags the line.
+        let x = 45.0; // t = 0.75 towards the plate
+        assert!(w_of(&smo, x) > w_of(&lin, x));
+        // Both monotone across the strip.
+        let mut prev_l = 2.0;
+        let mut prev_s = 2.0;
+        for i in 0..=40 {
+            let x = 30.0 + i as f64;
+            let (l, s) = (w_of(&lin, x), w_of(&smo, x));
+            assert!(l <= prev_l + 1e-12 && s <= prev_s + 1e-12);
+            prev_l = l;
+            prev_s = s;
+        }
+    }
+}

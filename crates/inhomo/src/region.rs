@@ -1,0 +1,174 @@
+//! Region geometry for the plate-oriented method.
+//!
+//! Each region exposes a *signed distance* to its boundary (negative
+//! inside), which is all the transition blending needs: membership ramps
+//! from 1 to 0 as the signed distance crosses `[-T/2, +T/2]`.
+
+/// A geometric region of the surface plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Region {
+    /// Axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+    Rect {
+        /// Minimum x.
+        x0: f64,
+        /// Minimum y.
+        y0: f64,
+        /// Maximum x.
+        x1: f64,
+        /// Maximum y.
+        y1: f64,
+    },
+    /// Disc of radius `r` centred at `(cx, cy)` — the paper's Figure 3
+    /// "circular region".
+    Circle {
+        /// Centre x.
+        cx: f64,
+        /// Centre y.
+        cy: f64,
+        /// Radius.
+        r: f64,
+    },
+    /// Half-plane `a·x + b·y ≤ c` (the boundary is the line `a·x+b·y=c`).
+    HalfPlane {
+        /// Normal x component.
+        a: f64,
+        /// Normal y component.
+        b: f64,
+        /// Offset.
+        c: f64,
+    },
+    /// Angular sector of a disc: radius `r` around `(cx, cy)`, polar angle
+    /// within `[theta0, theta1]` (radians, `theta1 > theta0`). Used for
+    /// Figure 4-style sectored layouts when built with plates.
+    Sector {
+        /// Centre x.
+        cx: f64,
+        /// Centre y.
+        cy: f64,
+        /// Radius.
+        r: f64,
+        /// Start angle.
+        theta0: f64,
+        /// End angle.
+        theta1: f64,
+    },
+}
+
+impl Region {
+    /// Signed distance to the region boundary: negative inside, positive
+    /// outside, zero on the boundary. Exact for `Rect`, `Circle` and
+    /// `HalfPlane`; a tight approximation for `Sector` (distance to the
+    /// nearest of the arc and the two radial edges).
+    pub fn signed_distance(&self, x: f64, y: f64) -> f64 {
+        match *self {
+            Region::Rect { x0, y0, x1, y1 } => {
+                debug_assert!(x1 >= x0 && y1 >= y0);
+                // Standard box SDF relative to the centre/half-extents.
+                let hx = 0.5 * (x1 - x0);
+                let hy = 0.5 * (y1 - y0);
+                let px = x - 0.5 * (x0 + x1);
+                let py = y - 0.5 * (y0 + y1);
+                let dx = px.abs() - hx;
+                let dy = py.abs() - hy;
+                let outside = (dx.max(0.0).powi(2) + dy.max(0.0).powi(2)).sqrt();
+                let inside = dx.max(dy).min(0.0);
+                outside + inside
+            }
+            Region::Circle { cx, cy, r } => ((x - cx).hypot(y - cy)) - r,
+            Region::HalfPlane { a, b, c } => {
+                let norm = a.hypot(b);
+                debug_assert!(norm > 0.0, "degenerate half-plane normal");
+                (a * x + b * y - c) / norm
+            }
+            Region::Sector { cx, cy, r, theta0, theta1 } => {
+                let px = x - cx;
+                let py = y - cy;
+                let rad = px.hypot(py);
+                let d_arc = rad - r;
+                // Signed distances to the two radial edge half-planes,
+                // oriented so that inside the wedge both are negative.
+                let edge = |theta: f64, sign: f64| -> f64 {
+                    // Outward normal of the edge line through the centre.
+                    let (s, c0) = theta.sin_cos();
+                    sign * (px * (-s) + py * c0)
+                };
+                let d0 = -edge(theta0, 1.0); // negative when past theta0
+                let d1 = edge(theta1, 1.0); // negative when before theta1
+                let wedge = d0.max(d1);
+                d_arc.max(wedge)
+            }
+        }
+    }
+
+    /// `true` if `(x, y)` lies inside or on the boundary.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        self.signed_distance(x, y) <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_signed_distance() {
+        let r = Region::Rect { x0: 0.0, y0: 0.0, x1: 10.0, y1: 4.0 };
+        assert!(r.contains(5.0, 2.0));
+        assert!((r.signed_distance(5.0, 2.0) - (-2.0)).abs() < 1e-12); // 2 from top/bottom
+        assert!((r.signed_distance(5.0, 0.0)).abs() < 1e-12); // on edge
+        assert!((r.signed_distance(5.0, -3.0) - 3.0).abs() < 1e-12); // below
+        // Corner distance is Euclidean.
+        assert!((r.signed_distance(13.0, 8.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_signed_distance() {
+        let c = Region::Circle { cx: 1.0, cy: 1.0, r: 5.0 };
+        assert!((c.signed_distance(1.0, 1.0) - (-5.0)).abs() < 1e-12);
+        assert!((c.signed_distance(6.0, 1.0)).abs() < 1e-12);
+        assert!((c.signed_distance(9.0, 1.0) - 3.0).abs() < 1e-12);
+        assert!(c.contains(4.0, 4.0));
+        assert!(!c.contains(9.0, 9.0));
+    }
+
+    #[test]
+    fn half_plane_signed_distance() {
+        // x <= 3
+        let h = Region::HalfPlane { a: 1.0, b: 0.0, c: 3.0 };
+        assert!((h.signed_distance(0.0, 7.0) - (-3.0)).abs() < 1e-12);
+        assert!((h.signed_distance(5.0, -2.0) - 2.0).abs() < 1e-12);
+        // Un-normalised coefficients give the same metric distance.
+        let h2 = Region::HalfPlane { a: 2.0, b: 0.0, c: 6.0 };
+        assert!((h2.signed_distance(5.0, 0.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sector_basic_membership() {
+        use core::f64::consts::FRAC_PI_2;
+        // Quarter disc in the first quadrant.
+        let s = Region::Sector { cx: 0.0, cy: 0.0, r: 10.0, theta0: 0.0, theta1: FRAC_PI_2 };
+        assert!(s.contains(3.0, 3.0));
+        assert!(!s.contains(-3.0, 3.0)); // wrong angle
+        assert!(!s.contains(3.0, -3.0)); // wrong angle
+        assert!(!s.contains(20.0, 1.0)); // outside radius
+        // Near the arc the SDF approximates radial distance.
+        assert!((s.signed_distance(12.0 / 2f64.sqrt(), 12.0 / 2f64.sqrt()) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sdf_is_continuous_across_boundary() {
+        let shapes = [
+            Region::Rect { x0: -4.0, y0: -2.0, x1: 4.0, y1: 2.0 },
+            Region::Circle { cx: 0.0, cy: 0.0, r: 3.0 },
+            Region::HalfPlane { a: 1.0, b: 1.0, c: 0.0 },
+        ];
+        for s in &shapes {
+            for i in 0..200 {
+                let t = i as f64 * 0.05 - 5.0;
+                let a = s.signed_distance(t, 0.7);
+                let b = s.signed_distance(t + 1e-6, 0.7);
+                assert!((a - b).abs() < 1e-5, "{s:?} jump at {t}");
+            }
+        }
+    }
+}

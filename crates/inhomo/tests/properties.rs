@@ -1,0 +1,135 @@
+//! Property-based tests for region geometry and weight maps.
+
+use proptest::prelude::*;
+use rrs_inhomo::{Plate, PlateLayout, PointLayout, Region, RepresentativePoint, WeightMap};
+use rrs_spectrum::{SpectrumModel, SurfaceParams};
+
+fn sm() -> SpectrumModel {
+    SpectrumModel::gaussian(SurfaceParams::isotropic(1.0, 4.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn circle_sdf_is_exact(cx in -50.0f64..50.0, cy in -50.0f64..50.0, r in 0.5f64..40.0, px in -100.0f64..100.0, py in -100.0f64..100.0) {
+        let c = Region::Circle { cx, cy, r };
+        let expect = ((px - cx).hypot(py - cy)) - r;
+        prop_assert!((c.signed_distance(px, py) - expect).abs() < 1e-12);
+        prop_assert_eq!(c.contains(px, py), expect <= 0.0);
+    }
+
+    #[test]
+    fn rect_sdf_sign_matches_membership(
+        x0 in -50.0f64..0.0, y0 in -50.0f64..0.0,
+        w in 1.0f64..60.0, h in 1.0f64..60.0,
+        px in -80.0f64..80.0, py in -80.0f64..80.0,
+    ) {
+        let rect = Region::Rect { x0, y0, x1: x0 + w, y1: y0 + h };
+        let inside = px >= x0 && px <= x0 + w && py >= y0 && py <= y0 + h;
+        let sd = rect.signed_distance(px, py);
+        if inside {
+            prop_assert!(sd <= 1e-12, "inside point has sd {sd}");
+        } else {
+            prop_assert!(sd > -1e-12, "outside point has sd {sd}");
+        }
+    }
+
+    #[test]
+    fn sdf_is_lipschitz(
+        r in 0.5f64..40.0,
+        px in -60.0f64..60.0, py in -60.0f64..60.0,
+        dx in -1.0f64..1.0, dy in -1.0f64..1.0,
+    ) {
+        // |sd(p) − sd(q)| ≤ |p − q| for metric SDFs.
+        for region in [
+            Region::Circle { cx: 3.0, cy: -2.0, r },
+            Region::Rect { x0: -10.0, y0: -5.0, x1: 12.0, y1: 8.0 },
+            Region::HalfPlane { a: 1.0, b: -2.0, c: 3.0 },
+        ] {
+            let a = region.signed_distance(px, py);
+            let b = region.signed_distance(px + dx, py + dy);
+            let step = dx.hypot(dy);
+            prop_assert!((a - b).abs() <= step + 1e-9, "{region:?}");
+        }
+    }
+
+    #[test]
+    fn plate_weights_always_normalised(
+        r in 2.0f64..30.0, t in 0.5f64..20.0,
+        px in -60.0f64..60.0, py in -60.0f64..60.0,
+    ) {
+        let layout = PlateLayout::new(
+            vec![Plate { region: Region::Circle { cx: 0.0, cy: 0.0, r }, spectrum: sm() }],
+            Some(sm()),
+            t,
+        );
+        let mut w = Vec::new();
+        layout.weights_at(px, py, &mut w);
+        let total: f64 = w.iter().map(|&(_, v)| v).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&(_, v)| (0.0..=1.0 + 1e-12).contains(&v)));
+    }
+
+    #[test]
+    fn point_weights_cover_the_plane(
+        t in 0.5f64..50.0,
+        px in -200.0f64..200.0, py in -200.0f64..200.0,
+        sep in 10.0f64..120.0,
+    ) {
+        let layout = PointLayout::new(
+            vec![
+                RepresentativePoint { x: 0.0, y: 0.0, spectrum: sm() },
+                RepresentativePoint { x: sep, y: 0.0, spectrum: sm() },
+                RepresentativePoint { x: 0.0, y: sep, spectrum: sm() },
+            ],
+            t,
+        );
+        let mut w = Vec::new();
+        layout.weights_at(px, py, &mut w);
+        let total: f64 = w.iter().map(|&(_, v)| v).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total} at ({px},{py})");
+        prop_assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn tau_is_nonnegative_for_nearest(
+        sep in 5.0f64..100.0,
+        px in -200.0f64..200.0, py in -200.0f64..200.0,
+    ) {
+        let layout = PointLayout::new(
+            vec![
+                RepresentativePoint { x: 0.0, y: 0.0, spectrum: sm() },
+                RepresentativePoint { x: sep, y: sep / 2.0, spectrum: sm() },
+            ],
+            10.0,
+        );
+        let m_star = layout.nearest(px, py);
+        let other = 1 - m_star;
+        prop_assert!(layout.tau(px, py, other, m_star) >= -1e-9);
+    }
+
+    #[test]
+    fn transition_is_symmetric_across_bisector(
+        sep in 10.0f64..100.0, t in 1.0f64..20.0, off in 0.0f64..1.0,
+    ) {
+        // Mirror points across the bisector swap their weight vectors.
+        let layout = PointLayout::new(
+            vec![
+                RepresentativePoint { x: 0.0, y: 0.0, spectrum: sm() },
+                RepresentativePoint { x: sep, y: 0.0, spectrum: sm() },
+            ],
+            t,
+        );
+        let d = off * t.min(sep / 2.0 - 1e-6);
+        let mut wl = Vec::new();
+        let mut wr = Vec::new();
+        layout.weights_at(sep / 2.0 - d, 3.0, &mut wl);
+        layout.weights_at(sep / 2.0 + d, 3.0, &mut wr);
+        let get = |w: &[(usize, f64)], k: usize| {
+            w.iter().find(|&&(i, _)| i == k).map_or(0.0, |&(_, v)| v)
+        };
+        prop_assert!((get(&wl, 0) - get(&wr, 1)).abs() < 1e-9);
+        prop_assert!((get(&wl, 1) - get(&wr, 0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Surface import/export.
+//!
+//! The reproduction harness renders every paper figure to disk; this crate
+//! supplies the formats:
+//!
+//! * [`csv`] — `x,y,height` long format and plain matrix CSV;
+//! * [`gnuplot`] — whitespace matrix blocks consumable by gnuplot's
+//!   `splot ... matrix`;
+//! * [`image`] — 8-bit PGM heightmaps and PPM renders with a perceptual
+//!   colour ramp (enough to eyeball Figures 1–4 without a plotting stack);
+//! * [`snapshot`] — an exact binary round-trip format (magic + shape +
+//!   little-endian `f64`s) built on `bytes`.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod gnuplot;
+pub mod image;
+pub mod snapshot;
+
+pub use csv::{read_matrix_csv, write_matrix_csv, write_xyz_csv};
+pub use gnuplot::write_gnuplot_matrix;
+pub use image::{write_pgm, write_ppm};
+pub use snapshot::{read_snapshot, write_snapshot};

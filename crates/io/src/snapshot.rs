@@ -1,0 +1,145 @@
+//! Exact binary snapshots of height fields.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic  "RRSSNAP1"  (8 bytes)
+//! nx     u64
+//! ny     u64
+//! data   nx·ny × f64, row-major
+//! crc    u64  — FNV-1a over the data bytes
+//! ```
+//!
+//! Round-trips bit-exactly; the checksum catches truncation and
+//! corruption. Built on the `bytes` crate's cursor types.
+
+use bytes::{Buf, BufMut};
+use rrs_grid::Grid2;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"RRSSNAP1";
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serialises a grid to the snapshot format.
+pub fn write_snapshot<W: Write>(mut w: W, grid: &Grid2<f64>) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(24 + grid.len() * 8 + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(grid.nx() as u64);
+    buf.put_u64_le(grid.ny() as u64);
+    let data_start = buf.len();
+    for &v in grid.as_slice() {
+        buf.put_f64_le(v);
+    }
+    let crc = fnv1a(&buf[data_start..]);
+    buf.put_u64_le(crc);
+    w.write_all(&buf)
+}
+
+/// Deserialises a snapshot, verifying magic, shape and checksum.
+pub fn read_snapshot<R: Read>(mut r: R) -> io::Result<Grid2<f64>> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = raw.as_slice();
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.remaining() < 24 {
+        return Err(bad("snapshot too short"));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let nx = buf.get_u64_le() as usize;
+    let ny = buf.get_u64_le() as usize;
+    let n = nx
+        .checked_mul(ny)
+        .ok_or_else(|| bad("shape overflow"))?;
+    if buf.remaining() != n * 8 + 8 {
+        return Err(bad("snapshot length does not match shape"));
+    }
+    let data_bytes = &buf.chunk()[..n * 8];
+    let crc_expect = fnv1a(data_bytes);
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f64_le());
+    }
+    let crc = buf.get_u64_le();
+    if crc != crc_expect {
+        return Err(bad("checksum mismatch"));
+    }
+    Ok(Grid2::from_vec(nx, ny, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bit_exact() {
+        let g = Grid2::from_fn(17, 9, |x, y| {
+            (x as f64).sin() * (y as f64).exp() / 3.0 - 0.123456789012345
+        });
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &g).unwrap();
+        let back = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        let g = Grid2::from_vec(2, 2, vec![f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e-308]);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &g).unwrap();
+        let back = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back.as_slice()[0], f64::INFINITY);
+        assert_eq!(back.as_slice()[1], f64::NEG_INFINITY);
+        assert_eq!(back.as_slice()[3], 1e-308);
+    }
+
+    #[test]
+    fn empty_grid_round_trips() {
+        let g = Grid2::zeros(0, 0);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &g).unwrap();
+        let back = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), (0, 0));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let g = Grid2::from_fn(8, 8, |x, y| (x + y) as f64);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &g).unwrap();
+        // Flip one data byte.
+        let idx = 24 + 13;
+        buf[idx] ^= 0x40;
+        let err = read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let g = Grid2::from_fn(4, 4, |x, _| x as f64);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &g).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &Grid2::zeros(2, 2)).unwrap();
+        buf[0] = b'X';
+        let err = read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+}

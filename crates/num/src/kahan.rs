@@ -1,0 +1,128 @@
+//! Compensated (Kahan–Neumaier) summation.
+//!
+//! Surface validation sums millions of grid samples; naive `f64` summation
+//! accumulates `O(n·ε)` error which is enough to perturb tight statistical
+//! tolerances. Neumaier's variant also handles the case where the running
+//! sum is smaller than the addend.
+
+/// A running compensated sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { sum: 0.0, comp: 0.0 }
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Sums a slice with compensation.
+pub fn sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().value()
+}
+
+/// Compensated dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut s = KahanSum::new();
+    for (&x, &y) in a.iter().zip(b) {
+        s.add(x * y);
+    }
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn simple_sum() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn pathological_cancellation() {
+        // 1 + 1e100 - 1e100 = 1 exactly with Neumaier compensation;
+        // naive summation returns 0.
+        let mut s = KahanSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(-1e100);
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let n = 10_000_000usize;
+        let term = 0.1_f64;
+        let total = sum(&vec![term; n]);
+        let expect = term * n as f64;
+        assert!((total - expect).abs() < 1e-4, "total={total}");
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: KahanSum = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.value(), 5050.0);
+    }
+}

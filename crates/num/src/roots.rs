@@ -1,0 +1,210 @@
+//! Bracketing root finders.
+//!
+//! Used by `rrs-stats` to fit correlation lengths: the estimated
+//! autocorrelation `ρ̂(r)/ρ̂(0)` crosses `1/e` somewhere in a bracketed
+//! interval, and Brent's method extracts the crossing robustly.
+
+/// Outcome of a root search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Residual `f(x)` at the returned point.
+    pub fx: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Error cases for the root finders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign — no guaranteed bracket.
+    NotBracketed,
+    /// The iteration cap was reached before the tolerance.
+    MaxIterations,
+}
+
+impl core::fmt::Display for RootError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotBracketed => write!(f, "root is not bracketed by the interval"),
+            Self::MaxIterations => write!(f, "root finder exceeded its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Bisection on `[a, b]` with `f(a)·f(b) ≤ 0`.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root { x: a, fx: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, fx: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    for i in 1..=max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(Root { x: m, fx: fm, iterations: i });
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Brent's method: inverse-quadratic/secant steps with a bisection
+/// safeguard. Converges superlinearly on smooth functions while keeping the
+/// bisection worst case.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, RootError> {
+    let (mut a, mut b) = (a0, b0);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(Root { x: a, fx: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, fx: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    let (mut c, mut fc) = (a, fa);
+    let mut d = b - a;
+    let mut e = d;
+    for i in 1..=max_iter {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best estimate.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(Root { x: b, fx: fb, iterations: i });
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(b);
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_close;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert_close(r.x, std::f64::consts::SQRT_2, 1e-10);
+    }
+
+    #[test]
+    fn brent_sqrt2_faster_than_bisect() {
+        let rb = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        let rr = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert_close(rr.x, std::f64::consts::SQRT_2, 1e-12);
+        assert!(rr.iterations < rb.iterations, "brent {} vs bisect {}", rr.iterations, rb.iterations);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // cos x = x at x ≈ 0.7390851332151607
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+        assert_close(r.x, 0.7390851332151607, 1e-12);
+    }
+
+    #[test]
+    fn exact_endpoint_roots() {
+        let r = brent(|x| x, 0.0, 1.0, 1e-12, 100).unwrap();
+        assert_eq!(r.x, 0.0);
+        let r = bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap();
+        assert_eq!(r.x, 1.0);
+    }
+
+    #[test]
+    fn unbracketed_is_reported() {
+        assert_eq!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err(), RootError::NotBracketed);
+        assert_eq!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err(), RootError::NotBracketed);
+    }
+
+    #[test]
+    fn exhausted_iterations_reported() {
+        assert_eq!(bisect(|x| x, -1.0, 2.0, 1e-300, 3).unwrap_err(), RootError::MaxIterations);
+    }
+
+    #[test]
+    fn brent_exp_decay_crossing() {
+        // The exact shape used for correlation-length fitting:
+        // exp(-(r/cl)^2) = 1/e  =>  r = cl.
+        let cl = 37.5;
+        let r = brent(|x| (-(x / cl) * (x / cl)).exp() - (-1.0_f64).exp(), 1.0, 200.0, 1e-12, 100)
+            .unwrap();
+        assert_close(r.x, cl, 1e-9);
+    }
+}

@@ -1,0 +1,325 @@
+//! Minimal data-parallel substrate built on crossbeam scoped threads.
+//!
+//! The workspace's hot loops (2-D FFT rows, convolution output rows) are
+//! embarrassingly parallel over disjoint row bands. Rather than pull in a
+//! full work-stealing runtime, this crate provides the two primitives those
+//! loops need, in the style of rayon's chunked iterators but with a fixed,
+//! caller-controllable worker count so generation remains deterministic:
+//!
+//! * [`par_chunks_mut`] — split a mutable slice into contiguous chunks and
+//!   process each on its own scoped thread;
+//! * [`par_indexed_chunks_mut`] — the same, handing each closure the chunk's
+//!   starting element index (for row numbering / per-band RNG streams);
+//! * [`par_map_collect`] — evaluate a pure function over an index range and
+//!   collect results in order.
+//!
+//! Determinism note: all primitives partition work *statically*; outputs
+//! never depend on scheduling, only on the partition, which itself depends
+//! only on `(len, workers)`.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+pub use crossbeam::thread::Scope;
+
+/// Runs `f` inside a crossbeam scoped-thread scope, propagating panics from
+/// worker threads as a panic on the caller.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    crossbeam::thread::scope(f).expect("scoped worker thread panicked")
+}
+
+/// Returns the number of worker threads to use: the `RRS_THREADS`
+/// environment variable if set and positive, otherwise the machine's
+/// available parallelism, otherwise 1.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("RRS_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Splits `data` into at most `workers` contiguous chunks of near-equal
+/// length and runs `f` on each chunk, in parallel.
+///
+/// `f` receives `(chunk_index, chunk)`. With `workers <= 1` or a single
+/// chunk the call degrades to a plain loop on the caller's thread.
+pub fn par_chunks_mut<T, F>(data: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(n);
+    let chunk = n.div_ceil(workers);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i, c));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Like [`par_chunks_mut`] but hands each closure the *element offset* of
+/// its chunk within the original slice, so callers can recover global row
+/// indices: `f(start_index, chunk)`.
+pub fn par_indexed_chunks_mut<T, F>(data: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(n);
+    let chunk = n.div_ceil(workers);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = i * chunk;
+            s.spawn(move |_| f(start, c));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Splits a row-major `row_len`-wide buffer into bands of whole rows and
+/// processes each band on its own thread: `f(first_row_index, band)`.
+///
+/// Guarantees a row is never split across workers — the invariant the 2-D
+/// kernels rely on.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `row_len`.
+pub fn par_row_chunks_mut<T, F>(data: &mut [T], row_len: usize, workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "buffer is not whole rows");
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(rows);
+    let rows_per_band = rows.div_ceil(workers);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    scope(|s| {
+        for (i, band) in data.chunks_mut(rows_per_band * row_len).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i * rows_per_band, band));
+        }
+    });
+}
+
+/// Evaluates `f(i)` for `i in 0..n` on `workers` threads and returns the
+/// results in index order.
+pub fn par_map_collect<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    par_indexed_chunks_mut(&mut out, workers, |start, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + j);
+        }
+    });
+    out
+}
+
+/// Statically splits the half-open range `[0, n)` into `parts` near-equal
+/// sub-ranges; returns `(start, end)` pairs. Empty ranges are omitted.
+pub fn split_range(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts.min(n));
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        if len == 0 {
+            continue;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_touches_every_element() {
+        let mut v = vec![0u64; 1003];
+        par_chunks_mut(&mut v, 7, |_, c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_and_single() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 4, |_, _| panic!("must not run"));
+        let mut one = vec![5];
+        par_chunks_mut(&mut one, 4, |i, c| {
+            assert_eq!(i, 0);
+            c[0] = 6;
+        });
+        assert_eq!(one, [6]);
+    }
+
+    #[test]
+    fn indexed_chunks_get_correct_offsets() {
+        let n = 100;
+        let mut v: Vec<usize> = vec![0; n];
+        par_indexed_chunks_mut(&mut v, 3, |start, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = start + j;
+            }
+        });
+        let expect: Vec<usize> = (0..n).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn map_collect_is_ordered() {
+        for workers in [1, 2, 5, 16] {
+            let out = par_map_collect(257, workers, |i| i * i);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_thread_count_invariant() {
+        let f = |i: usize| (i as f64).sin();
+        let a = par_map_collect(1000, 1, f);
+        let b = par_map_collect(1000, 8, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_workers_used_for_large_input() {
+        let seen = AtomicUsize::new(0);
+        let mut v = vec![0u8; 64];
+        par_chunks_mut(&mut v, 4, |_, _| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        for n in [0usize, 1, 7, 64, 1001] {
+            for parts in [1usize, 2, 3, 8, 100] {
+                let rs = split_range(n, parts);
+                let total: usize = rs.iter().map(|&(a, b)| b - a).sum();
+                assert_eq!(total, n);
+                let mut prev = 0;
+                for &(a, b) in &rs {
+                    assert_eq!(a, prev);
+                    assert!(b > a);
+                    prev = b;
+                }
+                if let (Some(min), Some(max)) = (
+                    rs.iter().map(|&(a, b)| b - a).min(),
+                    rs.iter().map(|&(a, b)| b - a).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn row_chunks_never_split_rows() {
+        let nx = 7;
+        let ny = 13;
+        let mut v = vec![0usize; nx * ny];
+        par_row_chunks_mut(&mut v, nx, 4, |row0, band| {
+            assert_eq!(band.len() % nx, 0, "band must be whole rows");
+            for (i, x) in band.iter_mut().enumerate() {
+                *x = (row0 * nx) + i;
+            }
+        });
+        let expect: Vec<usize> = (0..nx * ny).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn row_chunks_single_worker_and_empty() {
+        let mut v = vec![1u8; 12];
+        par_row_chunks_mut(&mut v, 4, 1, |row0, band| {
+            assert_eq!(row0, 0);
+            assert_eq!(band.len(), 12);
+        });
+        let mut empty: Vec<u8> = vec![];
+        par_row_chunks_mut(&mut empty, 4, 3, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn row_chunks_more_workers_than_rows() {
+        let nx = 5;
+        let mut v = vec![0u8; nx * 2];
+        par_row_chunks_mut(&mut v, nx, 64, |_, band| {
+            for x in band {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn row_chunks_ragged_buffer_panics() {
+        let mut v = vec![0u8; 10];
+        par_row_chunks_mut(&mut v, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn scope_propagates_results() {
+        let data = [1, 2, 3];
+        let sum = scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        });
+        assert_eq!(sum, 6);
+    }
+}

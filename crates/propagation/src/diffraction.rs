@@ -1,0 +1,290 @@
+//! Knife-edge diffraction over terrain profiles.
+//!
+//! Rough terrain between two low antennas attenuates mainly by
+//! diffraction over the intervening crests. The standard engineering
+//! treatment models each crest as a knife edge with Fresnel parameter
+//!
+//! ```text
+//! ν = h · sqrt( 2(d1+d2) / (λ·d1·d2) )
+//! ```
+//!
+//! (`h` the obstruction height above the line of sight, `d1`, `d2` the
+//! distances to the terminals) and loss `J(ν)` from the ITU-R P.526
+//! approximation. Multiple crests combine by the Epstein–Peterson
+//! (neighbour-to-neighbour) or Deygout (main-edge recursive)
+//! constructions.
+
+use rrs_grid::Profile;
+
+/// Single knife-edge loss `J(ν)` in dB (ITU-R P.526-15 eqn 31):
+/// `J(ν) = 6.9 + 20·log10( sqrt((ν−0.1)² + 1) + ν − 0.1 )` for
+/// `ν > −0.78`, zero below.
+pub fn knife_edge_loss_db(nu: f64) -> f64 {
+    if nu <= -0.78 {
+        return 0.0;
+    }
+    let t = nu - 0.1;
+    6.9 + 20.0 * ((t * t + 1.0).sqrt() + t).log10()
+}
+
+/// Fresnel diffraction parameter for an obstruction `h_m` metres above
+/// the direct ray, `d1_m` from the transmitter, `d2_m` from the receiver.
+///
+/// # Panics
+/// Panics unless the distances and wavelength are positive.
+pub fn fresnel_nu(h_m: f64, d1_m: f64, d2_m: f64, lambda_m: f64) -> f64 {
+    assert!(d1_m > 0.0 && d2_m > 0.0, "segment lengths must be positive");
+    assert!(lambda_m > 0.0, "wavelength must be positive");
+    h_m * (2.0 * (d1_m + d2_m) / (lambda_m * d1_m * d2_m)).sqrt()
+}
+
+/// Height of the profile above the straight line joining the terminal
+/// antennas, at sample `i`. Terminals sit at the profile ends, raised by
+/// `ht` and `hr`.
+fn clearance(profile: &Profile, ht: f64, hr: f64, i: usize) -> f64 {
+    let n = profile.heights.len();
+    let a = profile.heights[0] + ht;
+    let b = profile.heights[n - 1] + hr;
+    let t = i as f64 / (n - 1) as f64;
+    let los = a + t * (b - a);
+    profile.heights[i] - los
+}
+
+/// Epstein–Peterson multiple-edge loss (dB) over a terrain profile with
+/// terminal antenna heights `ht_m`, `hr_m` and wavelength `lambda_m`.
+///
+/// Local maxima of the clearance that protrude above the line of sight of
+/// their neighbouring edges are treated as knife edges; their `J(ν)`
+/// losses add.
+///
+/// # Panics
+/// Panics on profiles with fewer than 3 samples.
+pub fn epstein_peterson_loss_db(profile: &Profile, ht_m: f64, hr_m: f64, lambda_m: f64) -> f64 {
+    let edges = significant_edges(profile, ht_m, hr_m);
+    if edges.is_empty() {
+        return 0.0;
+    }
+    // Endpoints (terminal indices) bracket the edge list.
+    let n = profile.heights.len();
+    let mut nodes = Vec::with_capacity(edges.len() + 2);
+    nodes.push(0usize);
+    nodes.extend(edges.iter().copied());
+    nodes.push(n - 1);
+    let node_height = |i: usize| -> f64 {
+        if i == 0 {
+            profile.heights[0] + ht_m
+        } else if i == n - 1 {
+            profile.heights[n - 1] + hr_m
+        } else {
+            profile.heights[i]
+        }
+    };
+    let mut total = 0.0;
+    for w in nodes.windows(3) {
+        let (l, m, r) = (w[0], w[1], w[2]);
+        let d1 = profile.distance(m) - profile.distance(l);
+        let d2 = profile.distance(r) - profile.distance(m);
+        if d1 <= 0.0 || d2 <= 0.0 {
+            continue;
+        }
+        // Height of edge m above the sub-path line l→r.
+        let t = d1 / (d1 + d2);
+        let los = node_height(l) + t * (node_height(r) - node_height(l));
+        let h = node_height(m) - los;
+        let nu = fresnel_nu(h, d1, d2, lambda_m);
+        // Only edges that actually obstruct the sub-path count; grazing
+        // (ν ≤ 0) contributions are dropped so open terrain costs nothing.
+        if nu > 0.0 {
+            total += knife_edge_loss_db(nu);
+        }
+    }
+    total
+}
+
+/// Deygout multiple-edge loss (dB): pick the edge with the largest ν as
+/// the main edge, add its loss, then recurse on the two sub-paths. Depth
+/// is capped at 3 levels (the standard engineering practice — deeper
+/// recursion overestimates).
+pub fn deygout_loss_db(profile: &Profile, ht_m: f64, hr_m: f64, lambda_m: f64) -> f64 {
+    let n = profile.heights.len();
+    assert!(n >= 3, "profile too short for diffraction analysis");
+    deygout_recurse(profile, ht_m, hr_m, lambda_m, 0, n - 1, 0)
+}
+
+fn deygout_recurse(
+    profile: &Profile,
+    ht_m: f64,
+    hr_m: f64,
+    lambda_m: f64,
+    l: usize,
+    r: usize,
+    depth: usize,
+) -> f64 {
+    if depth >= 3 || r - l < 2 {
+        return 0.0;
+    }
+    let n = profile.heights.len();
+    let node_height = |i: usize| -> f64 {
+        if i == 0 {
+            profile.heights[0] + ht_m
+        } else if i == n - 1 {
+            profile.heights[n - 1] + hr_m
+        } else {
+            profile.heights[i]
+        }
+    };
+    // Find the edge with maximum ν within (l, r).
+    let mut best: Option<(usize, f64)> = None;
+    for m in l + 1..r {
+        let d1 = profile.distance(m) - profile.distance(l);
+        let d2 = profile.distance(r) - profile.distance(m);
+        let t = d1 / (d1 + d2);
+        let los = node_height(l) + t * (node_height(r) - node_height(l));
+        let h = node_height(m) - los;
+        let nu = fresnel_nu(h, d1, d2, lambda_m);
+        if best.is_none_or(|(_, bn)| nu > bn) {
+            best = Some((m, nu));
+        }
+    }
+    let Some((m, nu)) = best else { return 0.0 };
+    // A main edge below the line of sight (ν ≤ 0) means the sub-path is
+    // clear; grazing corrections are not accumulated.
+    if nu <= 0.0 {
+        return 0.0;
+    }
+    let main_loss = knife_edge_loss_db(nu);
+    main_loss
+        + deygout_recurse(profile, ht_m, hr_m, lambda_m, l, m, depth + 1)
+        + deygout_recurse(profile, ht_m, hr_m, lambda_m, m, r, depth + 1)
+}
+
+/// Indices of profile samples that are local clearance maxima protruding
+/// above the terminal line of sight.
+fn significant_edges(profile: &Profile, ht_m: f64, hr_m: f64) -> Vec<usize> {
+    let n = profile.heights.len();
+    assert!(n >= 3, "profile too short for diffraction analysis");
+    let mut edges = Vec::new();
+    for i in 1..n - 1 {
+        let c = clearance(profile, ht_m, hr_m, i);
+        if c > 0.0
+            && clearance(profile, ht_m, hr_m, i - 1) <= c
+            && clearance(profile, ht_m, hr_m, i + 1) < c
+        {
+            edges.push(i);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knife_edge_anchors() {
+        // Grazing incidence ν = 0: J = 6.02 dB (6.9 + 20·log10(sqrt(1.01)−0.1)).
+        let j0 = knife_edge_loss_db(0.0);
+        assert!((j0 - 6.02).abs() < 0.1, "J(0) = {j0}");
+        // Deep shadow grows ~ 20·log10(ν) + 13: J(10) ≈ 32.9 dB.
+        let j10 = knife_edge_loss_db(10.0);
+        assert!((j10 - 32.9).abs() < 0.5, "J(10) = {j10}");
+        // Clear path: no loss.
+        assert_eq!(knife_edge_loss_db(-1.0), 0.0);
+        // Monotone increasing.
+        assert!(knife_edge_loss_db(2.0) > knife_edge_loss_db(1.0));
+    }
+
+    #[test]
+    fn fresnel_nu_scales() {
+        let nu = fresnel_nu(10.0, 1000.0, 1000.0, 0.3);
+        // ν = 10·sqrt(2·2000/(0.3·1e6)) = 10·sqrt(1/75) ≈ 1.1547
+        assert!((nu - 1.1547).abs() < 1e-3, "ν = {nu}");
+        // Negative obstruction height gives negative ν.
+        assert!(fresnel_nu(-5.0, 100.0, 100.0, 0.3) < 0.0);
+    }
+
+    fn flat_profile(n: usize, spacing: f64) -> Profile {
+        Profile { spacing, heights: vec![0.0; n] }
+    }
+
+    #[test]
+    fn flat_ground_has_no_diffraction_loss() {
+        let p = flat_profile(101, 10.0);
+        assert_eq!(epstein_peterson_loss_db(&p, 5.0, 5.0, 0.3), 0.0);
+        assert_eq!(deygout_loss_db(&p, 5.0, 5.0, 0.3), 0.0);
+    }
+
+    #[test]
+    fn single_hill_matches_single_knife_edge() {
+        // One triangular hill in the middle; both constructions must give
+        // exactly the single-edge loss.
+        let n = 101;
+        let spacing = 10.0;
+        let mut heights = vec![0.0; n];
+        for (i, h) in heights.iter_mut().enumerate() {
+            let x = i as f64;
+            *h = (20.0 - (x - 50.0).abs()).max(0.0); // peak 20 m at centre
+        }
+        let p = Profile { spacing, heights };
+        let lambda = 0.3;
+        let (ht, hr) = (2.0, 2.0);
+        let d1 = 50.0 * spacing;
+        let d2 = 50.0 * spacing;
+        let h_los = 20.0 - 2.0; // peak minus the flat antenna line
+        let expect = knife_edge_loss_db(fresnel_nu(h_los, d1, d2, lambda));
+        let ep = epstein_peterson_loss_db(&p, ht, hr, lambda);
+        let dg = deygout_loss_db(&p, ht, hr, lambda);
+        assert!((ep - expect).abs() < 0.5, "EP {ep} vs {expect}");
+        assert!((dg - expect).abs() < 0.5, "Deygout {dg} vs {expect}");
+        assert!(expect > 10.0, "a 18 m obstruction must matter");
+    }
+
+    #[test]
+    fn two_hills_lose_more_than_one() {
+        let n = 101;
+        let spacing = 10.0;
+        let hill = |centre: f64, i: usize| (15.0 - (i as f64 - centre).abs()).max(0.0);
+        let one = Profile {
+            spacing,
+            heights: (0..n).map(|i| hill(50.0, i)).collect(),
+        };
+        let two = Profile {
+            spacing,
+            heights: (0..n).map(|i| hill(33.0, i) + hill(66.0, i)).collect(),
+        };
+        let lambda = 0.3;
+        assert!(
+            epstein_peterson_loss_db(&two, 2.0, 2.0, lambda)
+                > epstein_peterson_loss_db(&one, 2.0, 2.0, lambda)
+        );
+        assert!(deygout_loss_db(&two, 2.0, 2.0, lambda) > deygout_loss_db(&one, 2.0, 2.0, lambda));
+    }
+
+    #[test]
+    fn raising_antennas_reduces_loss() {
+        let n = 81;
+        let heights: Vec<f64> =
+            (0..n).map(|i| (10.0 - (i as f64 - 40.0).abs() * 0.5).max(0.0)).collect();
+        let p = Profile { spacing: 25.0, heights };
+        let low = deygout_loss_db(&p, 1.0, 1.0, 0.125);
+        let high = deygout_loss_db(&p, 15.0, 15.0, 0.125);
+        assert!(high < low, "high antennas {high} vs low {low}");
+    }
+
+    #[test]
+    fn shorter_wavelength_increases_loss() {
+        let n = 81;
+        let heights: Vec<f64> =
+            (0..n).map(|i| (8.0 - (i as f64 - 40.0).abs() * 0.4).max(0.0)).collect();
+        let p = Profile { spacing: 25.0, heights };
+        let uhf = epstein_peterson_loss_db(&p, 2.0, 2.0, 0.333); // 900 MHz
+        let wifi = epstein_peterson_loss_db(&p, 2.0, 2.0, 0.125); // 2.4 GHz
+        assert!(wifi > uhf);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_profile_rejected() {
+        deygout_loss_db(&flat_profile(2, 1.0), 1.0, 1.0, 0.3);
+    }
+}

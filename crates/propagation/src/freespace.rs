@@ -1,0 +1,69 @@
+//! Reference path-loss models.
+
+use crate::wavelength;
+
+/// Free-space path loss in dB at distance `d_m` metres and frequency
+/// `f_hz`: `20·log10(4πd/λ)`.
+///
+/// # Panics
+/// Panics unless `d_m > 0` and `f_hz > 0`.
+pub fn free_space_loss_db(d_m: f64, f_hz: f64) -> f64 {
+    assert!(d_m > 0.0, "distance must be positive");
+    let lambda = wavelength(f_hz);
+    20.0 * (4.0 * core::f64::consts::PI * d_m / lambda).log10()
+}
+
+/// Plane-earth (two-ray) loss in dB for antenna heights `ht_m`, `hr_m`
+/// over a flat reflecting ground, in the far-field regime
+/// `d ≫ √(ht·hr)`: `40·log10(d) − 20·log10(ht·hr)`.
+///
+/// # Panics
+/// Panics unless all arguments are positive.
+pub fn plane_earth_loss_db(d_m: f64, ht_m: f64, hr_m: f64) -> f64 {
+    assert!(d_m > 0.0 && ht_m > 0.0 && hr_m > 0.0, "arguments must be positive");
+    40.0 * d_m.log10() - 20.0 * (ht_m * hr_m).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fspl_reference_value() {
+        // 1 km at 900 MHz: 91.53 dB (standard textbook value).
+        let l = free_space_loss_db(1000.0, 900e6);
+        assert!((l - 91.53).abs() < 0.05, "FSPL = {l}");
+    }
+
+    #[test]
+    fn fspl_slope_is_20db_per_decade() {
+        let l1 = free_space_loss_db(100.0, 2.4e9);
+        let l2 = free_space_loss_db(1000.0, 2.4e9);
+        assert!((l2 - l1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fspl_increases_with_frequency() {
+        assert!(free_space_loss_db(500.0, 2.4e9) > free_space_loss_db(500.0, 900e6));
+    }
+
+    #[test]
+    fn plane_earth_slope_is_40db_per_decade() {
+        let l1 = plane_earth_loss_db(1000.0, 10.0, 2.0);
+        let l2 = plane_earth_loss_db(10_000.0, 10.0, 2.0);
+        assert!((l2 - l1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plane_earth_is_frequency_independent_and_height_sensitive() {
+        let low = plane_earth_loss_db(5000.0, 2.0, 2.0);
+        let high = plane_earth_loss_db(5000.0, 20.0, 2.0);
+        assert!(high < low, "taller mast reduces loss");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_distance_rejected() {
+        free_space_loss_db(0.0, 1e9);
+    }
+}

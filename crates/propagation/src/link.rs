@@ -1,0 +1,117 @@
+//! Link-budget sweeps along terrain profiles.
+//!
+//! The quantity the paper's follow-on work studies (refs [12–13]) is how
+//! received power decays with distance *along* a rough surface, and how
+//! that decay changes when the surface statistics change from place to
+//! place. [`link_budget_sweep`] walks a profile, truncating it at each
+//! candidate receiver position, and records free-space plus diffraction
+//! loss.
+
+use crate::diffraction::deygout_loss_db;
+use crate::freespace::free_space_loss_db;
+use rrs_grid::Profile;
+
+/// One point of a distance sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSample {
+    /// Transmitter→receiver ground distance (same units as the profile
+    /// spacing, interpreted as metres).
+    pub distance_m: f64,
+    /// Free-space component (dB).
+    pub free_space_db: f64,
+    /// Terrain diffraction component (dB).
+    pub diffraction_db: f64,
+}
+
+impl LinkSample {
+    /// Total path loss (dB).
+    pub fn total_db(&self) -> f64 {
+        self.free_space_db + self.diffraction_db
+    }
+}
+
+/// Sweeps the receiver along `profile` (transmitter fixed at sample 0)
+/// and evaluates the loss at every `step`-th sample from `start`.
+///
+/// * `ht_m`, `hr_m` — antenna heights above local ground;
+/// * `f_hz` — carrier frequency.
+///
+/// # Panics
+/// Panics if `step == 0`, `start < 2`, or the profile is shorter than
+/// `start + 1` samples.
+pub fn link_budget_sweep(
+    profile: &Profile,
+    ht_m: f64,
+    hr_m: f64,
+    f_hz: f64,
+    start: usize,
+    step: usize,
+) -> Vec<LinkSample> {
+    assert!(step > 0, "step must be positive");
+    assert!(start >= 2, "start must leave at least one interior sample");
+    assert!(profile.heights.len() > start, "profile shorter than start");
+    let lambda = crate::wavelength(f_hz);
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < profile.heights.len() {
+        let sub = Profile { spacing: profile.spacing, heights: profile.heights[..=i].to_vec() };
+        let d = sub.length().max(profile.spacing);
+        out.push(LinkSample {
+            distance_m: d,
+            free_space_db: free_space_loss_db(d, f_hz),
+            diffraction_db: deygout_loss_db(&sub, ht_m, hr_m, lambda),
+        });
+        i += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_profile_reduces_to_free_space() {
+        let p = Profile { spacing: 10.0, heights: vec![0.0; 200] };
+        let sweep = link_budget_sweep(&p, 3.0, 3.0, 900e6, 10, 20);
+        assert!(!sweep.is_empty());
+        for s in &sweep {
+            assert_eq!(s.diffraction_db, 0.0, "flat ground diffracts nothing");
+            assert!((s.total_db() - s.free_space_db).abs() < 1e-12);
+        }
+        // Loss grows with distance.
+        for w in sweep.windows(2) {
+            assert!(w[1].total_db() > w[0].total_db());
+        }
+    }
+
+    #[test]
+    fn rough_profile_loses_more_than_flat() {
+        let flat = Profile { spacing: 10.0, heights: vec![0.0; 150] };
+        let rough = Profile {
+            spacing: 10.0,
+            heights: (0..150).map(|i| 4.0 * ((i as f64) * 0.7).sin().abs()).collect(),
+        };
+        let fs = link_budget_sweep(&flat, 2.0, 2.0, 900e6, 20, 40);
+        let rs = link_budget_sweep(&rough, 2.0, 2.0, 900e6, 20, 40);
+        let f_total: f64 = fs.iter().map(|s| s.total_db()).sum();
+        let r_total: f64 = rs.iter().map(|s| s.total_db()).sum();
+        assert!(r_total > f_total, "rough {r_total} vs flat {f_total}");
+    }
+
+    #[test]
+    fn sweep_distances_match_step() {
+        let p = Profile { spacing: 5.0, heights: vec![0.0; 101] };
+        let sweep = link_budget_sweep(&p, 2.0, 2.0, 2.4e9, 10, 10);
+        assert_eq!(sweep.len(), 10);
+        assert!((sweep[0].distance_m - 50.0).abs() < 1e-12);
+        assert!((sweep[1].distance_m - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let p = Profile { spacing: 1.0, heights: vec![0.0; 10] };
+        link_budget_sweep(&p, 1.0, 1.0, 1e9, 2, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Mixture spectra — multi-scale composite surfaces.
+//!
+//! Sea-like and terrain-like surfaces are often *two-scale*: long swell
+//! carrying short ripple (the composite/two-scale model of the rough
+//! surface scattering literature the paper builds on). Spectra add under
+//! superposition of independent components:
+//!
+//! ```text
+//! W(K) = Σᵢ Wᵢ(K),   ρ(r) = Σᵢ ρᵢ(r),   h² = Σᵢ hᵢ²
+//! ```
+//!
+//! so a [`Mixture`] is itself a valid [`Spectrum`] and drops into every
+//! generator. Kernel auto-sizing uses the *largest* component correlation
+//! length (the kernel must span the slowest-decaying correlation).
+
+use crate::model::{Spectrum, SpectrumModel};
+use crate::SurfaceParams;
+
+/// A superposition of independent spectrum components.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Mixture {
+    components: Vec<SpectrumModel>,
+}
+
+impl Mixture {
+    /// Builds a mixture.
+    ///
+    /// # Panics
+    /// Panics on an empty component list.
+    pub fn new(components: Vec<SpectrumModel>) -> Self {
+        assert!(!components.is_empty(), "a mixture needs at least one component");
+        Self { components }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[SpectrumModel] {
+        &self.components
+    }
+
+    /// A classic two-scale sea model: long-wavelength Gaussian swell plus
+    /// short-wavelength Exponential ripple.
+    pub fn two_scale(swell: SurfaceParams, ripple: SurfaceParams) -> Self {
+        Self::new(vec![
+            SpectrumModel::gaussian(swell),
+            SpectrumModel::exponential(ripple),
+        ])
+    }
+}
+
+impl Spectrum for Mixture {
+    fn params(&self) -> SurfaceParams {
+        // h adds in quadrature; correlation lengths take the maximum so
+        // kernel sizing spans the slowest-decaying component.
+        let h2: f64 = self.components.iter().map(|c| c.params().variance()).sum();
+        let clx = self
+            .components
+            .iter()
+            .map(|c| c.params().clx)
+            .fold(0.0f64, f64::max);
+        let cly = self
+            .components
+            .iter()
+            .map(|c| c.params().cly)
+            .fold(0.0f64, f64::max);
+        SurfaceParams::new(h2.sqrt(), clx, cly)
+    }
+
+    fn density(&self, kx: f64, ky: f64) -> f64 {
+        self.components.iter().map(|c| c.density(kx, ky)).sum()
+    }
+
+    fn autocorrelation(&self, x: f64, y: f64) -> f64 {
+        self.components.iter().map(|c| c.autocorrelation(x, y)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_scale() -> Mixture {
+        Mixture::two_scale(
+            SurfaceParams::isotropic(1.0, 40.0), // swell
+            SurfaceParams::isotropic(0.3, 4.0),  // ripple
+        )
+    }
+
+    #[test]
+    fn variance_adds_in_quadrature() {
+        let m = two_scale();
+        let p = m.params();
+        assert!((p.variance() - (1.0 + 0.09)).abs() < 1e-12);
+        assert!((m.autocorrelation(0.0, 0.0) - 1.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizing_params_span_the_longest_component() {
+        let p = two_scale().params();
+        assert_eq!(p.clx, 40.0);
+        assert_eq!(p.cly, 40.0);
+    }
+
+    #[test]
+    fn density_and_autocorrelation_are_sums() {
+        let m = two_scale();
+        let [a, b] = [m.components()[0], m.components()[1]];
+        for &(kx, ky) in &[(0.0, 0.0), (0.1, 0.2), (0.8, -0.3)] {
+            assert!((m.density(kx, ky) - (a.density(kx, ky) + b.density(kx, ky))).abs() < 1e-15);
+        }
+        for &(x, y) in &[(5.0, 0.0), (0.0, 30.0), (10.0, 10.0)] {
+            let expect = a.autocorrelation(x, y) + b.autocorrelation(x, y);
+            assert!((m.autocorrelation(x, y) - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mixture_shows_both_scales_in_correlation() {
+        // At small lags the ripple contributes; by lag 3·cl_ripple it is
+        // gone and only the swell correlation remains.
+        let m = two_scale();
+        let swell = m.components()[0];
+        let at_12 = m.autocorrelation(12.0, 0.0);
+        assert!((at_12 - swell.autocorrelation(12.0, 0.0)).abs() < 0.01 * 1.09);
+        // At the origin the mixture exceeds the swell alone by h_ripple².
+        assert!((m.autocorrelation(0.0, 0.0) - swell.autocorrelation(0.0, 0.0) - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_kernel_generates_correct_variance() {
+        use crate::discrete::GridSpec;
+        let m = two_scale();
+        let w = crate::weight_array(&m, GridSpec::unit(512, 512));
+        let total: f64 = w.as_slice().iter().sum();
+        // Ripple (exponential, cl=4) loses ~1/(π·4)≈8% of its 0.09 to the
+        // Nyquist tail; the swell is exact.
+        assert!((total - 1.09).abs() < 0.02, "Σw = {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_rejected() {
+        Mixture::new(vec![]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Statistical surface parameters.
+
+/// The three statistical parameters of a homogeneous rough surface: height
+/// standard deviation `h` and the correlation lengths `clx`, `cly` along
+/// the two axes (grid units).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SurfaceParams {
+    /// Standard deviation of height, `h` in the paper.
+    pub h: f64,
+    /// Correlation length along `x` (`cl_x`).
+    pub clx: f64,
+    /// Correlation length along `y` (`cl_y`).
+    pub cly: f64,
+}
+
+impl SurfaceParams {
+    /// Anisotropic parameters.
+    ///
+    /// # Panics
+    /// Panics unless `h >= 0` and both correlation lengths are positive
+    /// and finite.
+    pub fn new(h: f64, clx: f64, cly: f64) -> Self {
+        assert!(h.is_finite() && h >= 0.0, "h must be finite and non-negative, got {h}");
+        assert!(clx.is_finite() && clx > 0.0, "clx must be finite and positive, got {clx}");
+        assert!(cly.is_finite() && cly > 0.0, "cly must be finite and positive, got {cly}");
+        Self { h, clx, cly }
+    }
+
+    /// Isotropic parameters (`clx == cly == cl`), the form used in all of
+    /// the paper's numerical examples.
+    pub fn isotropic(h: f64, cl: f64) -> Self {
+        Self::new(h, cl, cl)
+    }
+
+    /// The scaled radius `u = sqrt((x/clx)² + (y/cly)²)` at lag `(x, y)`
+    /// — the argument of every autocorrelation family.
+    #[inline]
+    pub fn scaled_radius(&self, x: f64, y: f64) -> f64 {
+        let ux = x / self.clx;
+        let uy = y / self.cly;
+        (ux * ux + uy * uy).sqrt()
+    }
+
+    /// Height variance `h²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.h * self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_sets_both_lengths() {
+        let p = SurfaceParams::isotropic(1.5, 40.0);
+        assert_eq!(p.clx, 40.0);
+        assert_eq!(p.cly, 40.0);
+        assert_eq!(p.h, 1.5);
+        assert_eq!(p.variance(), 2.25);
+    }
+
+    #[test]
+    fn scaled_radius_matches_hand_computation() {
+        let p = SurfaceParams::new(1.0, 2.0, 4.0);
+        let u = p.scaled_radius(2.0, 4.0);
+        assert!((u - 2.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(p.scaled_radius(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_height_is_allowed() {
+        // A perfectly flat "rough" surface is a valid degenerate case.
+        let p = SurfaceParams::isotropic(0.0, 10.0);
+        assert_eq!(p.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clx must be finite and positive")]
+    fn zero_correlation_length_rejected() {
+        SurfaceParams::new(1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be finite")]
+    fn nan_height_rejected() {
+        SurfaceParams::new(f64::NAN, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cly must be finite")]
+    fn infinite_length_rejected() {
+        SurfaceParams::new(1.0, 1.0, f64::INFINITY);
+    }
+}

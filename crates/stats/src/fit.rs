@@ -1,0 +1,109 @@
+//! Correlation-length estimation.
+//!
+//! All three spectrum families share the property `ρ(cl, 0)/ρ(0) = 1/e`
+//! along a principal axis (Gaussian: `exp(−(x/cl)²)`; Exponential:
+//! `exp(−x/cl)`; for the Power-Law family the `1/e` crossing defines an
+//! *effective* correlation length close to `cl`). The estimator finds the
+//! first `1/e` crossing of the measured normalised correlation profile by
+//! monotone bracketing + Brent refinement on the interpolated curve.
+
+use rrs_num::interp::interp1;
+use rrs_num::roots::brent;
+
+/// The `1/e` threshold.
+pub const INV_E: f64 = 0.367_879_441_171_442_33;
+
+/// Estimates the correlation length from a normalised correlation profile
+/// `profile[d] = ρ̂(d·spacing)/ρ̂(0)` sampled at uniform lags.
+///
+/// Returns `None` when the profile never falls below `1/e` inside the
+/// sampled range (correlation length beyond the window) or when the
+/// profile is degenerate.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // negation also rejects NaN profiles
+pub fn estimate_correlation_length(profile: &[f64], spacing: f64) -> Option<f64> {
+    if profile.len() < 2 || !(profile[0] > INV_E) {
+        return None;
+    }
+    // Find the first bracketing interval.
+    let cross = profile.windows(2).position(|w| w[0] > INV_E && w[1] <= INV_E)?;
+    let xs: Vec<f64> = (0..profile.len()).map(|i| i as f64 * spacing).collect();
+    let x0 = xs[cross];
+    let x1 = xs[cross + 1];
+    let g = |x: f64| interp1(&xs, profile, x) - INV_E;
+    match brent(g, x0, x1, 1e-10 * spacing.max(1.0), 200) {
+        Ok(root) => Some(root.x),
+        // Piecewise-linear curves can place the crossing exactly on a
+        // knot; fall back to linear inversion.
+        Err(_) => {
+            let f0 = profile[cross];
+            let f1 = profile[cross + 1];
+            Some(x0 + (x1 - x0) * (f0 - INV_E) / (f0 - f1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_gaussian_profile() {
+        let cl = 12.5;
+        let profile: Vec<f64> =
+            (0..100).map(|d| (-((d as f64 / cl) * (d as f64 / cl))).exp()).collect();
+        let est = estimate_correlation_length(&profile, 1.0).unwrap();
+        assert!((est - cl).abs() < 0.02, "estimated {est}");
+    }
+
+    #[test]
+    fn exact_exponential_profile() {
+        let cl = 7.0;
+        let profile: Vec<f64> = (0..100).map(|d| (-(d as f64) / cl).exp()).collect();
+        let est = estimate_correlation_length(&profile, 1.0).unwrap();
+        assert!((est - cl).abs() < 0.05, "estimated {est}");
+    }
+
+    #[test]
+    fn spacing_scales_the_answer() {
+        let cl = 5.0;
+        let spacing = 0.5;
+        let profile: Vec<f64> =
+            (0..100).map(|d| (-(d as f64 * spacing) / cl).exp()).collect();
+        let est = estimate_correlation_length(&profile, spacing).unwrap();
+        assert!((est - cl).abs() < 0.05, "estimated {est}");
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let profile = vec![1.0, 0.9, 0.8, 0.7, 0.6];
+        assert_eq!(estimate_correlation_length(&profile, 1.0), None);
+    }
+
+    #[test]
+    fn degenerate_profiles_return_none() {
+        assert_eq!(estimate_correlation_length(&[], 1.0), None);
+        assert_eq!(estimate_correlation_length(&[1.0], 1.0), None);
+        assert_eq!(estimate_correlation_length(&[0.1, 0.05], 1.0), None);
+    }
+
+    #[test]
+    fn noisy_profile_is_still_close() {
+        let cl = 10.0;
+        let profile: Vec<f64> = (0..80)
+            .map(|d| {
+                let x = d as f64;
+                (-(x / cl) * (x / cl)).exp() + 0.01 * ((d * 7919) % 13) as f64 / 13.0 - 0.005
+            })
+            .collect();
+        let est = estimate_correlation_length(&profile, 1.0).unwrap();
+        assert!((est - cl).abs() < 0.5, "estimated {est}");
+    }
+
+    #[test]
+    fn crossing_exactly_on_knot() {
+        // profile hits INV_E exactly at index 3.
+        let profile = vec![1.0, 0.8, 0.5, INV_E, 0.2];
+        let est = estimate_correlation_length(&profile, 1.0).unwrap();
+        assert!((est - 3.0).abs() < 1e-6, "estimated {est}");
+    }
+}

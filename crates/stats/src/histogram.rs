@@ -1,0 +1,137 @@
+//! Fixed-bin histograms for height distributions.
+
+/// A histogram over `[lo, hi)` with uniform bins plus under/overflow
+/// counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `hi > lo` and `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins >= 1, "histogram needs at least one bin");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let i = ((t * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[i] += 1;
+    }
+
+    /// Adds every sample of a slice.
+    pub fn push_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples seen, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Normalised density value of bin `i` (integrates to the in-range
+    /// fraction).
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / (total as f64 * self.bin_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push_all(&[0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 25.0]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn bin_geometry() {
+        let h = Histogram::new(-1.0, 1.0, 4);
+        assert_eq!(h.bin_width(), 0.5);
+        assert!((h.bin_center(0) - (-0.75)).abs() < 1e-15);
+        assert!((h.bin_center(3) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_integrates_to_one_for_in_range_data() {
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        for i in 0..1000 {
+            h.push((i as f64 + 0.5) / 1000.0);
+        }
+        let integral: f64 = (0..20).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(0.0); // first bin
+        h.push(0.5); // second bin
+        h.push(1.0 - 1e-12); // second bin
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

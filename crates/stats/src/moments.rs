@@ -1,0 +1,201 @@
+//! Streaming sample moments (Welford / Terriberry update).
+
+/// Accumulates mean, variance, skewness and excess-free kurtosis in one
+/// numerically stable pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Accumulates a slice.
+    pub fn push_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Builds from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Self::new();
+        m.push_all(xs);
+        m
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&self, other: &Self) -> Self {
+        if other.n == 0 {
+            return *self;
+        }
+        if self.n == 0 {
+            return *other;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        Self { n: self.n + other.n, mean, m2, m3, m4 }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (division by `n`).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.m2 / self.n as f64
+    }
+
+    /// Unbiased sample variance (division by `n − 1`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.m2 / (self.n - 1) as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness `m3 / m2^{3/2}` (0 for symmetric data).
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Sample kurtosis `n·m4 / m2²` (3 for a Gaussian).
+    pub fn kurtosis(&self) -> f64 {
+        if self.n == 0 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_num::approx::assert_close;
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.skewness(), 0.0);
+    }
+
+    #[test]
+    fn simple_known_values() {
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.count(), 4);
+        assert_close(m.mean(), 2.5, 1e-14);
+        assert_close(m.variance(), 1.25, 1e-14);
+        assert_close(m.sample_variance(), 5.0 / 3.0, 1e-14);
+        assert!(m.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data() {
+        let m = Moments::from_slice(&[7.0; 100]);
+        assert_close(m.mean(), 7.0, 1e-14);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.kurtosis(), 0.0);
+    }
+
+    #[test]
+    fn skewed_data_has_positive_skewness() {
+        // Exponential-ish data: skewness ≈ 2, kurtosis ≈ 9.
+        let xs: Vec<f64> = (1..10_000).map(|i| -((i as f64) / 10_000.0).ln()).collect();
+        let m = Moments::from_slice(&xs);
+        assert!((m.mean() - 1.0).abs() < 0.02, "mean {}", m.mean());
+        assert!((m.skewness() - 2.0).abs() < 0.2, "skew {}", m.skewness());
+        assert!((m.kurtosis() - 9.0).abs() < 1.0, "kurt {}", m.kurtosis());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.1).collect();
+        let whole = Moments::from_slice(&xs);
+        let a = Moments::from_slice(&xs[..300]);
+        let b = Moments::from_slice(&xs[300..]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert_close(merged.mean(), whole.mean(), 1e-12);
+        assert_close(merged.variance(), whole.variance(), 1e-12);
+        assert_close(merged.skewness(), whole.skewness(), 1e-9);
+        assert_close(merged.kurtosis(), whole.kurtosis(), 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let e = Moments::new();
+        let a = m.merge(&e);
+        let b = e.merge(&m);
+        assert_close(a.mean(), m.mean(), 1e-15);
+        assert_close(b.variance(), m.variance(), 1e-15);
+    }
+
+    #[test]
+    fn shift_invariance_of_central_moments() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin()).collect();
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + 1e6).collect();
+        let a = Moments::from_slice(&xs);
+        let b = Moments::from_slice(&shifted);
+        assert!((a.variance() - b.variance()).abs() < 1e-4, "catastrophic cancellation");
+    }
+}

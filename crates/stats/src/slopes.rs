@@ -1,0 +1,146 @@
+//! Slope statistics and the structure function.
+//!
+//! For a stationary field the *structure function* obeys the exact
+//! lattice identity
+//!
+//! ```text
+//! D(d) = E[(f(r + d) − f(r))²] = 2·(ρ(0) − ρ(d))
+//! ```
+//!
+//! which holds for every spectrum family, differentiable or not — unlike
+//! the continuum slope variance `−ρ''(0)`, which diverges for the
+//! Exponential family. Comparing the measured structure function against
+//! `2(ρ(0) − ρ(d))` is therefore a second, independent validation of the
+//! generator (the first being the autocorrelation itself), and the RMS
+//! slope at the sample spacing is `sqrt(D(Δ))/Δ`.
+
+use rrs_grid::Grid2;
+use rrs_spectrum::Spectrum;
+
+/// Measured structure function `D̂(d)` along `x` at integer lag `d ≥ 1`.
+pub fn structure_function_x(f: &Grid2<f64>, d: usize) -> f64 {
+    assert!(d >= 1 && d < f.nx(), "lag must satisfy 1 <= d < nx");
+    let (nx, ny) = f.shape();
+    let mut acc = rrs_num::KahanSum::new();
+    for iy in 0..ny {
+        let row = f.row(iy);
+        for ix in 0..nx - d {
+            let diff = row[ix + d] - row[ix];
+            acc.add(diff * diff);
+        }
+    }
+    acc.value() / ((nx - d) * ny) as f64
+}
+
+/// Measured structure function along `y`.
+pub fn structure_function_y(f: &Grid2<f64>, d: usize) -> f64 {
+    assert!(d >= 1 && d < f.ny(), "lag must satisfy 1 <= d < ny");
+    let (nx, ny) = f.shape();
+    let mut acc = rrs_num::KahanSum::new();
+    for iy in 0..ny - d {
+        for ix in 0..nx {
+            let diff = *f.get(ix, iy + d) - *f.get(ix, iy);
+            acc.add(diff * diff);
+        }
+    }
+    acc.value() / (nx * (ny - d)) as f64
+}
+
+/// The model's exact structure function `2(ρ(0) − ρ(d))` along `x`.
+pub fn model_structure_function_x<S: Spectrum + ?Sized>(s: &S, d: f64) -> f64 {
+    2.0 * (s.autocorrelation(0.0, 0.0) - s.autocorrelation(d, 0.0))
+}
+
+/// The model's exact structure function along `y`.
+pub fn model_structure_function_y<S: Spectrum + ?Sized>(s: &S, d: f64) -> f64 {
+    2.0 * (s.autocorrelation(0.0, 0.0) - s.autocorrelation(0.0, d))
+}
+
+/// Measured RMS slope along `x` at unit sample spacing:
+/// `sqrt(D̂(1))/spacing`.
+pub fn rms_slope_x(f: &Grid2<f64>, spacing: f64) -> f64 {
+    assert!(spacing > 0.0, "spacing must be positive");
+    structure_function_x(f, 1).sqrt() / spacing
+}
+
+/// Measured RMS slope along `y`.
+pub fn rms_slope_y(f: &Grid2<f64>, spacing: f64) -> f64 {
+    assert!(spacing > 0.0, "spacing must be positive");
+    structure_function_y(f, 1).sqrt() / spacing
+}
+
+/// The model's RMS slope at sample spacing `spacing` along `x`.
+pub fn model_rms_slope_x<S: Spectrum + ?Sized>(s: &S, spacing: f64) -> f64 {
+    model_structure_function_x(s, spacing).sqrt() / spacing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_spectrum::{Exponential, Gaussian, GridSpec, SurfaceParams};
+    use rrs_surface::DirectDftGenerator;
+
+    #[test]
+    fn flat_surface_has_zero_slope() {
+        let f = Grid2::filled(16, 16, 3.0);
+        assert_eq!(structure_function_x(&f, 1), 0.0);
+        assert_eq!(rms_slope_y(&f, 1.0), 0.0);
+    }
+
+    #[test]
+    fn linear_ramp_has_constant_slope() {
+        let f = Grid2::from_fn(32, 8, |x, _| 0.5 * x as f64);
+        assert!((rms_slope_x(&f, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(rms_slope_y(&f, 1.0), 0.0);
+        // D(d) grows quadratically for a deterministic ramp.
+        assert!((structure_function_x(&f, 4) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_surface_matches_model_structure_function() {
+        let p = SurfaceParams::isotropic(1.2, 8.0);
+        let s = Gaussian::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(256, 256), 1).generate(3);
+        for d in [1usize, 2, 4, 8] {
+            let measured = structure_function_x(&f, d);
+            let model = model_structure_function_x(&s, d as f64);
+            assert!(
+                (measured - model).abs() < 0.15 * model.max(0.01),
+                "d={d}: measured {measured}, model {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_surface_is_rougher_at_small_scales() {
+        // Same h and cl, but the exponential family has a much larger
+        // small-lag structure function (it is not mean-square
+        // differentiable in the continuum).
+        let p = SurfaceParams::isotropic(1.0, 10.0);
+        let dg = model_structure_function_x(&Gaussian::new(p), 1.0);
+        let de = model_structure_function_x(&Exponential::new(p), 1.0);
+        assert!(de > 5.0 * dg, "exponential D(1) {de} vs gaussian {dg}");
+        // And the generated surfaces show it.
+        let fg = DirectDftGenerator::with_workers(Gaussian::new(p), GridSpec::unit(256, 256), 1)
+            .generate(5);
+        let fe =
+            DirectDftGenerator::with_workers(Exponential::new(p), GridSpec::unit(256, 256), 1)
+                .generate(5);
+        assert!(rms_slope_x(&fe, 1.0) > 1.5 * rms_slope_x(&fg, 1.0));
+    }
+
+    #[test]
+    fn anisotropic_slopes_follow_axes() {
+        let p = SurfaceParams::new(1.0, 24.0, 6.0);
+        let s = Gaussian::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(256, 256), 1).generate(9);
+        // Short correlation along y ⇒ steeper slopes along y.
+        assert!(rms_slope_y(&f, 1.0) > 2.0 * rms_slope_x(&f, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lag must satisfy")]
+    fn oversized_lag_rejected() {
+        structure_function_x(&Grid2::zeros(8, 8), 8);
+    }
+}

@@ -1,0 +1,298 @@
+//! Region-wise validation of generated surfaces against target statistics.
+//!
+//! This is the quantitative backbone of EXPERIMENTS.md: for every
+//! homogeneous sub-region of a paper figure we cut the window, estimate
+//! `ĥ` and the correlation lengths, and compare with the spectrum the
+//! generator was asked for.
+
+use crate::autocorr::autocorrelation_lags_with_mean;
+use crate::fit::estimate_correlation_length;
+use crate::moments::Moments;
+use rrs_grid::Grid2;
+use rrs_spectrum::{Spectrum, SurfaceParams};
+
+/// Measured-vs-target statistics for one region.
+#[derive(Clone, Debug)]
+pub struct RegionReport {
+    /// Target parameters.
+    pub target: SurfaceParams,
+    /// Where the *model's* normalised correlation crosses `1/e` along x.
+    /// Equals `clx` for Gaussian and Exponential spectra; ≈ `1.59·clx`
+    /// for the 3rd-order Power-Law, whose correlation decays more slowly.
+    /// This is the number `clx_measured` should be compared against.
+    pub clx_expected: f64,
+    /// The `1/e` crossing along y.
+    pub cly_expected: f64,
+    /// Measured height standard deviation.
+    pub h_measured: f64,
+    /// Measured mean (should be ≈ 0).
+    pub mean_measured: f64,
+    /// Estimated correlation length along `x`, if the window resolved it.
+    pub clx_measured: Option<f64>,
+    /// Estimated correlation length along `y`, if the window resolved it.
+    pub cly_measured: Option<f64>,
+    /// Skewness (≈ 0 for a Gaussian surface).
+    pub skewness: f64,
+    /// Kurtosis (≈ 3 for a Gaussian surface).
+    pub kurtosis: f64,
+    /// Number of samples in the window.
+    pub samples: usize,
+}
+
+/// The lag at which the model's normalised correlation along the given
+/// axis first crosses `1/e`; falls back to the nominal correlation length
+/// when no crossing brackets within `20·cl`.
+pub fn expected_inv_e_crossing<S: Spectrum + ?Sized>(spectrum: &S, along_x: bool) -> f64 {
+    let p = spectrum.params();
+    let cl = if along_x { p.clx } else { p.cly };
+    if p.h == 0.0 {
+        return cl;
+    }
+    let g = |r: f64| {
+        let c = if along_x {
+            spectrum.correlation(r, 0.0)
+        } else {
+            spectrum.correlation(0.0, r)
+        };
+        c - crate::fit::INV_E
+    };
+    match rrs_num::roots::brent(g, 1e-9 * cl, 20.0 * cl, 1e-9 * cl, 200) {
+        Ok(root) => root.x,
+        Err(_) => cl,
+    }
+}
+
+impl RegionReport {
+    /// Relative error of the measured height standard deviation.
+    pub fn h_rel_error(&self) -> f64 {
+        if self.target.h == 0.0 {
+            return self.h_measured.abs();
+        }
+        (self.h_measured - self.target.h).abs() / self.target.h
+    }
+
+    /// Relative error of the measured x correlation length against the
+    /// model's expected `1/e` crossing (`None` when unresolved).
+    pub fn clx_rel_error(&self) -> Option<f64> {
+        self.clx_measured.map(|m| (m - self.clx_expected).abs() / self.clx_expected)
+    }
+
+    /// Relative error of the measured y correlation length.
+    pub fn cly_rel_error(&self) -> Option<f64> {
+        self.cly_measured.map(|m| (m - self.cly_expected).abs() / self.cly_expected)
+    }
+
+    /// The approximate number of statistically independent patches in the
+    /// window — the quantity that sets estimator tolerances.
+    pub fn independent_patches(&self, window: (usize, usize)) -> f64 {
+        let (wx, wy) = window;
+        (wx as f64 / self.target.clx) * (wy as f64 / self.target.cly)
+    }
+}
+
+/// Validates the rectangular window `[x0, x0+w) × [y0, y0+h)` of `surface`
+/// against the statistics of `spectrum`.
+///
+/// # Panics
+/// Panics if the window is out of bounds or empty.
+pub fn validate_region<S: Spectrum + ?Sized>(
+    surface: &Grid2<f64>,
+    spectrum: &S,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+) -> RegionReport {
+    assert!(w > 0 && h > 0, "validation window must be non-empty");
+    let window = surface.window(x0, y0, w, h);
+    let mut m = Moments::new();
+    m.push_all(window.as_slice());
+    let target = spectrum.params();
+
+    // The generated process has known mean zero, so the height variance
+    // is the *raw* second moment — this avoids the (1 − 1/k) downward
+    // bias of sample-mean subtraction on windows holding only k
+    // correlation patches.
+    let raw_var = window.as_slice().iter().map(|&v| v * v).sum::<f64>()
+        / window.len() as f64;
+
+    // Correlation lengths from open-boundary, zero-mean autocorrelation
+    // profiles along each axis (unbiased, unlike the periodic FFT
+    // estimate which wraps window edges together).
+    let (clx_measured, cly_measured) = if raw_var > 0.0 {
+        let max_lag_x = (w / 2).max(1);
+        let max_lag_y = (h / 2).max(1);
+        let lags_x: Vec<(i64, i64)> = (0..=max_lag_x as i64).map(|d| (d, 0)).collect();
+        let lags_y: Vec<(i64, i64)> = (0..=max_lag_y as i64).map(|d| (0, d)).collect();
+        let cx = autocorrelation_lags_with_mean(&window, &lags_x, 0.0);
+        let cy = autocorrelation_lags_with_mean(&window, &lags_y, 0.0);
+        let px: Vec<f64> = cx.iter().map(|&v| v / cx[0]).collect();
+        let py: Vec<f64> = cy.iter().map(|&v| v / cy[0]).collect();
+        (estimate_correlation_length(&px, 1.0), estimate_correlation_length(&py, 1.0))
+    } else {
+        (None, None)
+    };
+
+    RegionReport {
+        target,
+        clx_expected: expected_inv_e_crossing(spectrum, true),
+        cly_expected: expected_inv_e_crossing(spectrum, false),
+        h_measured: raw_var.sqrt(),
+        mean_measured: m.mean(),
+        clx_measured,
+        cly_measured,
+        skewness: m.skewness(),
+        kurtosis: m.kurtosis(),
+        samples: w * h,
+    }
+}
+
+/// Ensemble variant of [`validate_region`]: aggregates over several
+/// realisations supplied by `make_surface(seed)`, averaging the measured
+/// variance and correlation-length estimates. This is the estimator the
+/// `reproduce` harness uses — the per-seed fluctuation of `ĥ` on a
+/// window holding `k` correlation patches is `O(h/√k)`, and averaging
+/// `R` seeds shrinks it by `√R`.
+pub fn validate_region_ensemble<S, F>(
+    make_surface: F,
+    spectrum: &S,
+    seeds: core::ops::Range<u64>,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+) -> RegionReport
+where
+    S: Spectrum + ?Sized,
+    F: Fn(u64) -> Grid2<f64>,
+{
+    assert!(seeds.start < seeds.end, "ensemble needs at least one seed");
+    let reports: Vec<RegionReport> = seeds
+        .map(|seed| validate_region(&make_surface(seed), spectrum, x0, y0, w, h))
+        .collect();
+    aggregate_reports(spectrum.params(), &reports)
+}
+
+/// Combines per-realisation [`RegionReport`]s into one ensemble report:
+/// variances average (so `ĥ` is the root-mean of squared estimates),
+/// correlation-length estimates average over the seeds that resolved
+/// one, and sample counts add.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn aggregate_reports(target: SurfaceParams, reports: &[RegionReport]) -> RegionReport {
+    assert!(!reports.is_empty(), "cannot aggregate zero reports");
+    let n = reports.len() as f64;
+    let var = reports.iter().map(|r| r.h_measured * r.h_measured).sum::<f64>() / n;
+    let mean = reports.iter().map(|r| r.mean_measured).sum::<f64>() / n;
+    let skew = reports.iter().map(|r| r.skewness).sum::<f64>() / n;
+    let kurt = reports.iter().map(|r| r.kurtosis).sum::<f64>() / n;
+    let avg_opt = |get: fn(&RegionReport) -> Option<f64>| -> Option<f64> {
+        let vals: Vec<f64> = reports.iter().filter_map(get).collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    };
+    RegionReport {
+        target,
+        clx_expected: reports[0].clx_expected,
+        cly_expected: reports[0].cly_expected,
+        h_measured: var.sqrt(),
+        mean_measured: mean,
+        clx_measured: avg_opt(|r| r.clx_measured),
+        cly_measured: avg_opt(|r| r.cly_measured),
+        skewness: skew,
+        kurtosis: kurt,
+        samples: reports.iter().map(|r| r.samples).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_spectrum::{Exponential, Gaussian, GridSpec};
+    use rrs_surface::DirectDftGenerator;
+
+    #[test]
+    fn homogeneous_gaussian_surface_validates() {
+        let p = SurfaceParams::isotropic(1.5, 8.0);
+        let s = Gaussian::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(256, 256), 1).generate(5);
+        let r = validate_region(&f, &s, 0, 0, 256, 256);
+        assert!(r.h_rel_error() < 0.15, "ĥ = {}", r.h_measured);
+        assert!(r.clx_rel_error().expect("clx resolved") < 0.25, "ĉl = {:?}", r.clx_measured);
+        assert!(r.cly_rel_error().expect("cly resolved") < 0.25);
+        assert!(r.skewness.abs() < 0.5);
+        assert!((r.kurtosis - 3.0).abs() < 1.0);
+        assert_eq!(r.samples, 256 * 256);
+    }
+
+    #[test]
+    fn exponential_surface_validates() {
+        let p = SurfaceParams::isotropic(1.0, 10.0);
+        let s = Exponential::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(256, 256), 1).generate(9);
+        let r = validate_region(&f, &s, 0, 0, 256, 256);
+        assert!(r.h_rel_error() < 0.2, "ĥ = {}", r.h_measured);
+        // The exponential profile has a sharp tip; the 1/e crossing is
+        // still close to cl on a large window.
+        let clx = r.clx_measured.expect("clx resolved");
+        assert!((clx - 10.0).abs() < 4.0, "ĉlx = {clx}");
+    }
+
+    #[test]
+    fn anisotropic_lengths_are_separated() {
+        let p = SurfaceParams::new(1.0, 20.0, 5.0);
+        let s = Gaussian::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(512, 512), 1).generate(2);
+        let r = validate_region(&f, &s, 0, 0, 512, 512);
+        let clx = r.clx_measured.unwrap();
+        let cly = r.cly_measured.unwrap();
+        assert!(clx > 2.0 * cly, "clx {clx} vs cly {cly}");
+    }
+
+    #[test]
+    fn sub_window_validation() {
+        let p = SurfaceParams::isotropic(1.0, 5.0);
+        let s = Gaussian::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(256, 256), 1).generate(4);
+        let r = validate_region(&f, &s, 64, 64, 128, 128);
+        assert_eq!(r.samples, 128 * 128);
+        assert!(r.h_rel_error() < 0.25);
+    }
+
+    #[test]
+    fn flat_surface_reports_zero() {
+        let f = Grid2::zeros(32, 32);
+        let s = Gaussian::new(SurfaceParams::isotropic(0.0, 5.0));
+        let r = validate_region(&f, &s, 0, 0, 32, 32);
+        assert_eq!(r.h_measured, 0.0);
+        assert_eq!(r.clx_measured, None);
+        assert_eq!(r.h_rel_error(), 0.0);
+    }
+
+    #[test]
+    fn window_too_small_for_cl_returns_none() {
+        let p = SurfaceParams::isotropic(1.0, 100.0);
+        let s = Gaussian::new(p);
+        let f = DirectDftGenerator::with_workers(s, GridSpec::unit(64, 64), 1).generate(4);
+        let r = validate_region(&f, &s, 0, 0, 64, 64);
+        // Profile max lag is 16 << cl: no 1/e crossing possible.
+        assert_eq!(r.clx_measured, None);
+    }
+
+    #[test]
+    fn independent_patches_helper() {
+        let r = RegionReport {
+            target: SurfaceParams::isotropic(1.0, 10.0),
+            clx_expected: 10.0,
+            cly_expected: 10.0,
+            h_measured: 1.0,
+            mean_measured: 0.0,
+            clx_measured: None,
+            cly_measured: None,
+            skewness: 0.0,
+            kurtosis: 3.0,
+            samples: 0,
+        };
+        assert_eq!(r.independent_patches((100, 200)), 200.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The convolution method (paper §2.4, eqn 36).
+//!
+//! `f[n] = Σ_k w̃[k] · X[n − k]` with `w̃` the centred kernel and `X` unit
+//! lattice noise. Two noise backings are provided:
+//!
+//! * **open** — [`NoiseField`], an unbounded deterministic lattice: any
+//!   output window can be generated independently and windows tile
+//!   seamlessly (the paper's "arbitrarily long or wide RRS by successive
+//!   computations");
+//! * **periodic** — an explicit `Nx × Ny` noise grid with wrap-around
+//!   indexing, matching the direct DFT method *exactly* when the noise is
+//!   the transform of the same Hermitian array (this identity is what the
+//!   convolution theorem derivation promises, and the tests enforce it).
+
+use crate::kernel::{ConvolutionKernel, KernelSizing};
+use crate::noise::NoiseField;
+use rrs_grid::Grid2;
+use rrs_spectrum::Spectrum;
+
+/// Homogeneous surface generator by real-space convolution.
+pub struct ConvolutionGenerator {
+    kernel: ConvolutionKernel,
+    workers: usize,
+}
+
+impl ConvolutionGenerator {
+    /// Builds a generator from a spectrum with the given kernel sizing and
+    /// default parallelism.
+    pub fn new<S: Spectrum + ?Sized>(spectrum: &S, sizing: KernelSizing) -> Self {
+        Self::from_kernel(ConvolutionKernel::build(spectrum, sizing))
+    }
+
+    /// Wraps a prebuilt (possibly truncated) kernel.
+    pub fn from_kernel(kernel: ConvolutionKernel) -> Self {
+        Self { kernel, workers: rrs_par::default_workers() }
+    }
+
+    /// Sets the worker count (1 = serial). Output is identical for any
+    /// worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &ConvolutionKernel {
+        &self.kernel
+    }
+
+    /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
+    /// surface defined by `noise`. Windows of the same `noise` tile
+    /// seamlessly.
+    pub fn generate_window(
+        &self,
+        noise: &NoiseField,
+        x0: i64,
+        y0: i64,
+        nx: usize,
+        ny: usize,
+    ) -> Grid2<f64> {
+        assert!(nx > 0 && ny > 0, "window must be non-empty");
+        let (kw, kh) = self.kernel.extent();
+        let (ox, oy) = self.kernel.origin();
+        // f(n) = Σ_j w̃(j)·X(n−j); offsets j span [ox, ox+kw) × [oy, oy+kh),
+        // so the noise window spans [x0−(ox+kw−1), x0+nx−1−ox].
+        let wx0 = x0 - (ox + kw as i64 - 1);
+        let wy0 = y0 - (oy + kh as i64 - 1);
+        let ww = nx + kw - 1;
+        let wh = ny + kh - 1;
+        let noise_win = noise.window(wx0, wy0, ww, wh);
+        self.correlate(&noise_win, ww, nx, ny)
+    }
+
+    /// The inner correlation: `out[ix,iy] = Σ_{a,b} w̃[a,b] ·
+    /// win[ix + kw−1−a, iy + kh−1−b]` — convolution with the kernel
+    /// flipped, which realises `Σ_j w̃(j)·X(n−j)` on the materialised
+    /// window.
+    fn correlate(&self, win: &[f64], ww: usize, nx: usize, ny: usize) -> Grid2<f64> {
+        let (kw, kh) = self.kernel.extent();
+        let kernel = self.kernel.weights();
+        let mut out = Grid2::zeros(nx, ny);
+        let out_slice = out.as_mut_slice();
+        rrs_par::par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
+            for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
+                let iy = iy0 + row_off;
+                for (ix, slot) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for b in 0..kh {
+                        let krow = kernel.row(b);
+                        let wrow_y = iy + kh - 1 - b;
+                        let wbase = wrow_y * ww + ix;
+                        // Σ_a w̃[a,b] · win[ix + kw−1−a, wrow_y]: reverse
+                        // the kernel row against a forward window slice.
+                        let wslice = &win[wbase..wbase + kw];
+                        let mut s = 0.0;
+                        for (a, &kv) in krow.iter().enumerate() {
+                            s += kv * wslice[kw - 1 - a];
+                        }
+                        acc += s;
+                    }
+                    *slot = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Periodic convolution against an explicit `Nx × Ny` noise grid
+    /// (wrap-around indexing): `f[n] = Σ_j w̃[j] · X[(n−j) mod N]`.
+    ///
+    /// With the full-size kernel and `X = DFT(u)/√(NxNy)` this reproduces
+    /// the direct DFT method sample-for-sample.
+    pub fn convolve_periodic(&self, noise: &Grid2<f64>) -> Grid2<f64> {
+        let (nx, ny) = noise.shape();
+        let (_kw, kh) = self.kernel.extent();
+        let (ox, oy) = self.kernel.origin();
+        let kernel = self.kernel.weights();
+        let mut out = Grid2::zeros(nx, ny);
+        let out_slice = out.as_mut_slice();
+        rrs_par::par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
+            for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
+                let iy = iy0 + row_off;
+                for (ix, slot) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for b in 0..kh {
+                        let jy = oy + b as i64;
+                        let sy = (iy as i64 - jy).rem_euclid(ny as i64) as usize;
+                        let krow = kernel.row(b);
+                        for (a, &kv) in krow.iter().enumerate() {
+                            let jx = ox + a as i64;
+                            let sx = (ix as i64 - jx).rem_euclid(nx as i64) as usize;
+                            acc += kv * *noise.get(sx, sy);
+                        }
+                    }
+                    *slot = acc;
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectDftGenerator;
+    use crate::hermitian::hermitian_gaussian_array;
+    use rrs_fft::{Direction, Fft2d};
+    use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
+    use rrs_rng::Xoshiro256pp;
+
+    #[test]
+    fn window_shape_and_determinism() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
+        let noise = NoiseField::new(5);
+        let a = gen.generate_window(&noise, 0, 0, 32, 16);
+        assert_eq!(a.shape(), (32, 16));
+        let b = gen.generate_window(&noise, 0, 0, 32, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_tile_seamlessly() {
+        // The paper's "successive computations" claim, exactly.
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
+        let noise = NoiseField::new(11);
+        let whole = gen.generate_window(&noise, 0, 0, 64, 32);
+        let left = gen.generate_window(&noise, 0, 0, 32, 32);
+        let right = gen.generate_window(&noise, 32, 0, 32, 32);
+        for iy in 0..32 {
+            for ix in 0..32 {
+                assert!((*whole.get(ix, iy) - *left.get(ix, iy)).abs() < 1e-12);
+                assert!((*whole.get(ix + 32, iy) - *right.get(ix, iy)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_tiles_are_seamless_too() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(2);
+        let noise = NoiseField::new(13);
+        let whole = gen.generate_window(&noise, -5, -5, 24, 48);
+        let top = gen.generate_window(&noise, -5, -5 + 24, 24, 24);
+        for iy in 0..24 {
+            for ix in 0..24 {
+                assert!((*whole.get(ix, iy + 24) - *top.get(ix, iy)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let k = ConvolutionKernel::build(&s, KernelSizing::default());
+        let noise = NoiseField::new(3);
+        let serial =
+            ConvolutionGenerator::from_kernel(k.clone()).with_workers(1).generate_window(
+                &noise, 0, 0, 48, 48,
+            );
+        let parallel = ConvolutionGenerator::from_kernel(k).with_workers(5).generate_window(
+            &noise, 0, 0, 48, 48,
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn surface_statistics_match_target() {
+        let h = 1.5;
+        let cl = 6.0;
+        let s = Gaussian::new(SurfaceParams::isotropic(h, cl));
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default());
+        let f = gen.generate_window(&NoiseField::new(21), 0, 0, 256, 256);
+        let measured = f.std_dev();
+        let patches = (256.0 / cl) * (256.0 / cl);
+        let tol = 4.5 * h / patches.sqrt();
+        assert!((measured - h).abs() < tol, "ĥ = {measured} (target {h} ± {tol})");
+    }
+
+    #[test]
+    fn matches_direct_dft_method_exactly() {
+        // Drive both methods with the same Hermitian array u:
+        //   direct:      f = DFT(v·u)
+        //   convolution: f = w̃ ⊛ X,  X = DFT(u)/√(NxNy)
+        // The convolution theorem says these are the same surface.
+        let p = SurfaceParams::isotropic(1.3, 5.0);
+        let s = Gaussian::new(p);
+        let spec = GridSpec::unit(32, 32);
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let u = hermitian_gaussian_array(spec.nx, spec.ny, &mut rng);
+
+        let f_direct = DirectDftGenerator::with_workers(s, spec, 1).generate_from_bins(&u);
+
+        let mut x = u.clone();
+        Fft2d::with_workers(spec.nx, spec.ny, 1).process(&mut x, Direction::Forward);
+        let scale = 1.0 / ((spec.nx * spec.ny) as f64).sqrt();
+        let noise = Grid2::from_vec(
+            spec.nx,
+            spec.ny,
+            x.iter().map(|z| z.re * scale).collect(),
+        );
+        let kernel = ConvolutionKernel::build_on(&s, spec);
+        let f_conv =
+            ConvolutionGenerator::from_kernel(kernel).with_workers(1).convolve_periodic(&noise);
+
+        let max_err = f_direct
+            .as_slice()
+            .iter()
+            .zip(f_conv.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_err < 1e-9, "methods disagree by {max_err}");
+    }
+
+    #[test]
+    fn truncated_kernel_stays_statistically_faithful() {
+        let h = 1.0;
+        let s = Gaussian::new(SurfaceParams::isotropic(h, 5.0));
+        let full = ConvolutionKernel::build(&s, KernelSizing::default());
+        let trunc = full.truncated(1e-3);
+        assert!(trunc.extent().0 < full.extent().0);
+        let f = ConvolutionGenerator::from_kernel(trunc).generate_window(
+            &NoiseField::new(8),
+            0,
+            0,
+            192,
+            192,
+        );
+        assert!((f.std_dev() - h).abs() < 0.15, "ĥ = {}", f.std_dev());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 3.0));
+        ConvolutionGenerator::new(&s, KernelSizing::default()).generate_window(
+            &NoiseField::new(0),
+            0,
+            0,
+            0,
+            4,
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # rrs — Rough Surface Generation with Inhomogeneous Parameters
+//!
+//! A Rust reproduction of **Uchida, Honda & Yoon, "An Algorithm for Rough
+//! Surface Generation with Inhomogeneous Parameters"** (ICPP 2009 /
+//! J. Algorithms & Computational Technology 5(2)), built entirely from
+//! scratch — FFT, RNG, statistics and the generator itself.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rrs::spectrum::{Gaussian, SurfaceParams};
+//! use rrs::surface::{ConvolutionGenerator, KernelSizing, NoiseField};
+//!
+//! // A Gaussian-spectrum surface with height std-dev 1.0 and
+//! // correlation length 8 samples.
+//! let spectrum = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
+//! let generator = ConvolutionGenerator::new(&spectrum, KernelSizing::default());
+//! let surface = generator.generate_window(&NoiseField::new(42), 0, 0, 128, 128);
+//! assert_eq!(surface.shape(), (128, 128));
+//! // The sample standard deviation approaches the target h = 1.0.
+//! assert!((surface.std_dev() - 1.0).abs() < 0.3);
+//! ```
+//!
+//! ## What's where
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`spectrum`] | Gaussian / Power-Law / Exponential spectra, discrete weighting arrays (paper §2.1–2.2) |
+//! | [`surface`] | direct DFT method, convolution method, streaming strips (paper §2.3–2.4) |
+//! | [`inhomo`] | plate-oriented and point-oriented inhomogeneous generation (paper §3 — the contribution) |
+//! | [`stats`] | moments, autocorrelation, correlation-length fits, normality tests |
+//! | [`fft`], [`rng`], [`num`], [`grid`], [`par`] | substrates built for this reproduction |
+//! | [`io`] | CSV / gnuplot / PGM / snapshot export |
+//! | [`propagation`] | link budgets over generated profiles (the motivating application) |
+
+pub use rrs_fft as fft;
+pub use rrs_grid as grid;
+pub use rrs_inhomo as inhomo;
+pub use rrs_io as io;
+pub use rrs_num as num;
+pub use rrs_par as par;
+pub use rrs_propagation as propagation;
+pub use rrs_rng as rng;
+pub use rrs_spectrum as spectrum;
+pub use rrs_stats as stats;
+pub use rrs_surface as surface;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use rrs_grid::Grid2;
+    pub use rrs_inhomo::{
+        InhomogeneousGenerator, Plate, PlateLayout, PointLayout, Region, RepresentativePoint,
+        TransitionProfile,
+    };
+    pub use rrs_spectrum::line::{Exponential1d, Gaussian1d, LineParams, Spectrum1d};
+    pub use rrs_spectrum::{
+        Exponential, Gaussian, GridSpec, Mixture, PowerLaw, Rotated, Spectrum, SpectrumModel,
+        SurfaceParams,
+    };
+    pub use rrs_stats::{validate_region, RegionReport};
+    pub use rrs_surface::{
+        ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing, LineGenerator,
+        LineKernel, NoiseField, StripGenerator,
+    };
+}

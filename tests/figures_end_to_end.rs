@@ -1,0 +1,87 @@
+//! End-to-end reproduction of the paper's Figures 1–4 at test scale.
+//!
+//! These are the integration-level assertions behind EXPERIMENTS.md: the
+//! qualitative *shape* of every figure — which regions are rougher, by
+//! roughly what factor, where the transitions sit — must hold at any
+//! scale. (The `reproduce` binary runs the same definitions at larger
+//! scale and records the quantitative tables.)
+
+use rrs_bench::figures::{all_figures, fig1, fig3, fig4};
+
+const SCALE: f64 = 0.125;
+const EPS: f64 = 0.05;
+
+#[test]
+fn all_figures_generate_and_regions_validate() {
+    for fig in all_figures(SCALE, EPS, 11) {
+        let reports = fig.validate_ensemble(4);
+        for (name, r) in &reports {
+            // Height std-dev within 50% per small-scale region (the shape
+            // check; tight quantitative checks run at larger scale).
+            assert!(
+                r.h_rel_error() < 0.5,
+                "{} / {name}: h_hat = {:.3}, target {:.3}",
+                fig.id,
+                r.h_measured,
+                r.target.h
+            );
+            // Gaussian marginals everywhere. Windows at this scale hold
+            // only ~4-20 correlation patches, so the 3rd/4th-moment
+            // estimators swing hard: these are gross-failure guards,
+            // the precise normality tests run on large windows in
+            // tests/inhomogeneous_pipeline.rs.
+            assert!(r.skewness.abs() < 1.2, "{} / {name}: skew {}", fig.id, r.skewness);
+            assert!(
+                (r.kurtosis - 3.0).abs() < 2.0,
+                "{} / {name}: kurtosis {}",
+                fig.id,
+                r.kurtosis
+            );
+        }
+    }
+}
+
+#[test]
+fn fig1_quadrant_roughness_ordering() {
+    let fig = fig1(SCALE, EPS, 5);
+    let reports = fig.validate_ensemble(6);
+    let h: Vec<f64> = reports.iter().map(|(_, r)| r.h_measured).collect();
+    // q3 (h=2.0) > {q2, q4} (1.5) > q1 (1.0).
+    assert!(h[2] > h[1] && h[2] > h[3], "q3 must be roughest: {h:?}");
+    assert!(h[1] > h[0] && h[3] > h[0], "q1 must be smoothest: {h:?}");
+    // q2 and q4 share parameters.
+    assert!((h[1] - h[3]).abs() < 0.35, "q2 vs q4: {h:?}");
+}
+
+#[test]
+fn fig3_pond_to_field_contrast() {
+    let fig = fig3(SCALE, EPS, 9);
+    let reports = fig.validate_ensemble(6);
+    let pond = reports[0].1.h_measured;
+    let field = reports[1].1.h_measured;
+    // Paper contrast: h = 0.2 inside vs 1.0 outside — a 5x factor.
+    let factor = field / pond;
+    assert!(
+        (3.0..8.0).contains(&factor),
+        "field/pond roughness factor {factor} (expected ≈ 5)"
+    );
+}
+
+#[test]
+fn fig4_ring_groups_grade_outward() {
+    let fig = fig4(SCALE, EPS, 13);
+    let reports = fig.validate_ensemble(6);
+    // reports: centre, i=2 (h=1.0), i=5 (h=1.5), i=8 (h=2.0).
+    let h: Vec<f64> = reports.iter().map(|(_, r)| r.h_measured).collect();
+    assert!(h[3] > h[2] && h[2] > h[1], "ring groups must grade upward: {h:?}");
+    assert!(h[0] < h[2], "the exponential centre (h=0.5) must be smoother: {h:?}");
+}
+
+#[test]
+fn figures_are_seed_reproducible() {
+    let a = fig3(SCALE, EPS, 3).generate();
+    let b = fig3(SCALE, EPS, 3).generate();
+    assert_eq!(a, b, "same seed must reproduce the identical figure");
+    let c = fig3(SCALE, EPS, 4).generate();
+    assert_ne!(a, c, "different seeds must differ");
+}
