@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Must pass on a clean checkout with NO network
+# access and NO cargo registry cache: the workspace depends only on its
+# own crates, so --offline --locked is the proof of hermeticity.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== hermeticity: dependency tree must contain only workspace crates =="
+tree="$(cargo tree --workspace --prefix none --locked --offline)"
+if echo "$tree" | grep -vE '^rrs(-[a-z]+)? v' | grep -q '[^[:space:]]'; then
+    echo "FAIL: non-workspace dependency found:" >&2
+    echo "$tree" | grep -vE '^rrs(-[a-z]+)? v' >&2
+    exit 1
+fi
+echo "ok: $(echo "$tree" | sort -u | grep -c '^rrs') workspace crates, zero external"
+
+echo "== build (release, locked, offline) =="
+cargo build --release --locked --offline
+
+echo "== test (workspace, locked, offline) =="
+cargo test -q --workspace --locked --offline
+
+echo "== bench smoke: reduced-scale reproduction run =="
+smoke_out="$(mktemp -d)"
+trap 'rm -rf "$smoke_out"' EXIT
+cargo run --release --locked --offline -p rrs-bench --bin reproduce -- \
+    --scale 0.25 --reps 2 --out "$smoke_out"
+
+echo "ALL GREEN"

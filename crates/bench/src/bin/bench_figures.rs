@@ -1,0 +1,25 @@
+//! End-to-end generation cost of each paper figure (at bench scale 1/8 —
+//! the geometry and spectra mix are the paper's; only linear dimensions
+//! shrink). Regenerate the full-size figures with the `reproduce` binary.
+//!
+//! Run with `cargo run --release -p rrs-bench --bin bench_figures`;
+//! writes `BENCH_figures.json`.
+
+use rrs_bench::figures::{fig1, fig2, fig3, fig4};
+use rrs_bench::Harness;
+use std::hint::black_box;
+
+fn main() {
+    let mut h = Harness::new("figures");
+    let scale = 0.125;
+    let eps = 0.01;
+    for (name, fig) in [
+        ("paper_figures/fig1_quadrants", fig1(scale, eps, 1)),
+        ("paper_figures/fig2_spectra", fig2(scale, eps, 1)),
+        ("paper_figures/fig3_circle", fig3(scale, eps, 1)),
+        ("paper_figures/fig4_points", fig4(scale, eps, 1)),
+    ] {
+        h.bench(name, || black_box(fig.generate()));
+    }
+    h.finish().expect("write BENCH_figures.json");
+}

@@ -9,8 +9,12 @@
 //!   beats per-sample convolution and vice versa;
 //! * `parallel_scaling` (ablation): row-band workers;
 //! * `streaming` (claim C4): successive-computation throughput.
+//!
+//! Run with `cargo run --release -p rrs-bench --bin bench_generation`;
+//! writes `BENCH_generation.json` — the perf baseline future PRs diff
+//! against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_bench::Harness;
 use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
 use rrs_surface::{
     ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing, NoiseField,
@@ -20,24 +24,18 @@ use std::hint::black_box;
 
 const OUT: usize = 128;
 
-fn bench_kernel_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_scaling");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements((OUT * OUT) as u64));
+fn main() {
+    let mut h = Harness::new("generation");
+
     let noise = NoiseField::new(1);
     for cl in [4.0, 8.0, 16.0, 32.0] {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, cl));
         let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
-        group.bench_with_input(BenchmarkId::from_parameter(cl as u64), &cl, |b, _| {
-            b.iter(|| black_box(gen.generate_window(&noise, 0, 0, OUT, OUT)))
+        h.bench_elems(&format!("kernel_scaling/cl{}", cl as u64), (OUT * OUT) as u64, || {
+            black_box(gen.generate_window(&noise, 0, 0, OUT, OUT))
         });
     }
-    group.finish();
-}
 
-fn bench_kernel_truncation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_truncation");
-    group.sample_size(10);
     let noise = NoiseField::new(2);
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 12.0));
     let full = ConvolutionKernel::build(&s, KernelSizing::default());
@@ -49,77 +47,49 @@ fn bench_kernel_truncation(c: &mut Criterion) {
     ] {
         let extent = kernel.extent().0;
         let gen = ConvolutionGenerator::from_kernel(kernel).with_workers(1);
-        group.bench_function(BenchmarkId::new(label, extent), |b| {
-            b.iter(|| black_box(gen.generate_window(&noise, 0, 0, OUT, OUT)))
+        h.bench(&format!("kernel_truncation/{label}/{extent}"), || {
+            black_box(gen.generate_window(&noise, 0, 0, OUT, OUT))
         });
     }
-    group.finish();
-}
 
-fn bench_direct_vs_conv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("direct_vs_conv");
-    group.sample_size(10);
     let p = SurfaceParams::isotropic(1.0, 8.0);
     let s = Gaussian::new(p);
     let noise = NoiseField::new(3);
     for &n in &[64usize, 128, 256] {
-        group.throughput(Throughput::Elements((n * n) as u64));
         let direct = DirectDftGenerator::with_workers(s, GridSpec::unit(n, n), 1);
-        group.bench_with_input(BenchmarkId::new("direct_dft", n), &n, |b, _| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(direct.generate(seed))
-            })
+        let mut seed = 0u64;
+        h.bench_elems(&format!("direct_vs_conv/direct_dft/{n}"), (n * n) as u64, move || {
+            seed += 1;
+            black_box(direct.generate(seed))
         });
         let conv = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
-        group.bench_with_input(BenchmarkId::new("convolution", n), &n, |b, _| {
-            b.iter(|| black_box(conv.generate_window(&noise, 0, 0, n, n)))
+        h.bench_elems(&format!("direct_vs_conv/convolution/{n}"), (n * n) as u64, || {
+            black_box(conv.generate_window(&noise, 0, 0, n, n))
         });
         let conv_t = ConvolutionGenerator::from_kernel(
             ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-2),
         )
         .with_workers(1);
-        group.bench_with_input(BenchmarkId::new("convolution_trunc", n), &n, |b, _| {
-            b.iter(|| black_box(conv_t.generate_window(&noise, 0, 0, n, n)))
+        h.bench_elems(&format!("direct_vs_conv/convolution_trunc/{n}"), (n * n) as u64, || {
+            black_box(conv_t.generate_window(&noise, 0, 0, n, n))
         });
     }
-    group.finish();
-}
 
-fn bench_parallel_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_scaling");
-    group.sample_size(10);
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 12.0));
     let noise = NoiseField::new(4);
     let kernel = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
     for workers in [1usize, 2, 4, 8] {
         let gen = ConvolutionGenerator::from_kernel(kernel.clone()).with_workers(workers);
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
-            b.iter(|| black_box(gen.generate_window(&noise, 0, 0, 256, 256)))
+        h.bench(&format!("parallel_scaling/w{workers}"), || {
+            black_box(gen.generate_window(&noise, 0, 0, 256, 256))
         });
     }
-    group.finish();
-}
 
-fn bench_streaming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("streaming");
-    group.sample_size(10);
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
-    group.throughput(Throughput::Elements((256 * 64) as u64));
-    group.bench_function("next_strip_256x64", |b| {
-        let mut sg = StripGenerator::new(&s, KernelSizing::default(), 64, 5);
-        b.iter(|| black_box(sg.next_strip(256)))
+    let mut sg = StripGenerator::new(&s, KernelSizing::default(), 64, 5);
+    h.bench_elems("streaming/next_strip_256x64", (256 * 64) as u64, || {
+        black_box(sg.next_strip(256))
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_kernel_scaling,
-    bench_kernel_truncation,
-    bench_direct_vs_conv,
-    bench_parallel_scaling,
-    bench_streaming
-);
-criterion_main!(benches);
+    h.finish().expect("write BENCH_generation.json");
+}

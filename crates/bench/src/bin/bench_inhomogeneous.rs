@@ -6,8 +6,11 @@
 //! * the `blend_fields` vs `blend_kernels` ablation from DESIGN.md §7:
 //!   the generator blends per-kernel *fields* (linearity); the literal
 //!   eqn (46) alternative materialises a blended kernel per sample.
+//!
+//! Run with `cargo run --release -p rrs-bench --bin bench_inhomogeneous`;
+//! writes `BENCH_inhomogeneous.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_bench::Harness;
 use rrs_grid::Grid2;
 use rrs_inhomo::plate::quadrant_layout;
 use rrs_inhomo::{InhomogeneousGenerator, PointLayout, RepresentativePoint, WeightMap};
@@ -25,47 +28,6 @@ fn sizing() -> KernelSizing {
     KernelSizing::Auto { factor: 8.0, min: 16, max: 256 }
 }
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inhomo_overhead");
-    group.sample_size(10);
-    let noise = NoiseField::new(1);
-
-    let hom = ConvolutionGenerator::new(&sm(1.0, 8.0), sizing()).with_workers(1);
-    group.bench_function("homogeneous", |b| {
-        b.iter(|| black_box(hom.generate_window(&noise, 0, 0, N, N)))
-    });
-
-    let plates = quadrant_layout(
-        N as f64,
-        N as f64,
-        [sm(1.0, 8.0), sm(1.5, 8.0), sm(2.0, 8.0), sm(1.5, 8.0)],
-        8.0,
-    );
-    let plate_gen = InhomogeneousGenerator::new(plates, sizing()).with_workers(1);
-    group.bench_function("plate_quadrants", |b| {
-        b.iter(|| black_box(plate_gen.generate_window(&noise, 0, 0, N, N)))
-    });
-
-    let points = PointLayout::new(
-        (0..8)
-            .map(|i| {
-                let th = core::f64::consts::TAU * i as f64 / 8.0;
-                RepresentativePoint {
-                    x: N as f64 / 2.0 + 40.0 * th.cos(),
-                    y: N as f64 / 2.0 + 40.0 * th.sin(),
-                    spectrum: sm(1.0 + 0.1 * i as f64, 8.0),
-                }
-            })
-            .collect(),
-        10.0,
-    );
-    let point_gen = InhomogeneousGenerator::new(points, sizing()).with_workers(1);
-    group.bench_function("point_ring8", |b| {
-        b.iter(|| black_box(point_gen.generate_window(&noise, 0, 0, N, N)))
-    });
-    group.finish();
-}
-
 /// Literal eqn (46): materialise the blended kernel at every sample, then
 /// dot it with the noise — the naive alternative the generator avoids.
 fn blend_kernels_naive(
@@ -78,7 +40,12 @@ fn blend_kernels_naive(
     let (ox, oy) = kernels[0].origin();
     let reach_l = ox + kw as i64 - 1;
     let reach_r = -ox;
-    let win = noise.window(-reach_l, -reach_l, n + (reach_l + reach_r) as usize, n + (reach_l + reach_r) as usize);
+    let win = noise.window(
+        -reach_l,
+        -reach_l,
+        n + (reach_l + reach_r) as usize,
+        n + (reach_l + reach_r) as usize,
+    );
     let ww = n + (reach_l + reach_r) as usize;
     let mut weights = Vec::new();
     let mut blended = vec![0.0f64; kw * kh];
@@ -105,9 +72,44 @@ fn blend_kernels_naive(
     })
 }
 
-fn bench_blend_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("blend_ablation");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("inhomogeneous");
+
+    let noise = NoiseField::new(1);
+    let hom = ConvolutionGenerator::new(&sm(1.0, 8.0), sizing()).with_workers(1);
+    h.bench("inhomo_overhead/homogeneous", || {
+        black_box(hom.generate_window(&noise, 0, 0, N, N))
+    });
+
+    let plates = quadrant_layout(
+        N as f64,
+        N as f64,
+        [sm(1.0, 8.0), sm(1.5, 8.0), sm(2.0, 8.0), sm(1.5, 8.0)],
+        8.0,
+    );
+    let plate_gen = InhomogeneousGenerator::new(plates, sizing()).with_workers(1);
+    h.bench("inhomo_overhead/plate_quadrants", || {
+        black_box(plate_gen.generate_window(&noise, 0, 0, N, N))
+    });
+
+    let points = PointLayout::new(
+        (0..8)
+            .map(|i| {
+                let th = core::f64::consts::TAU * i as f64 / 8.0;
+                RepresentativePoint {
+                    x: N as f64 / 2.0 + 40.0 * th.cos(),
+                    y: N as f64 / 2.0 + 40.0 * th.sin(),
+                    spectrum: sm(1.0 + 0.1 * i as f64, 8.0),
+                }
+            })
+            .collect(),
+        10.0,
+    );
+    let point_gen = InhomogeneousGenerator::new(points, sizing()).with_workers(1);
+    h.bench("inhomo_overhead/point_ring8", || {
+        black_box(point_gen.generate_window(&noise, 0, 0, N, N))
+    });
+
     let noise = NoiseField::new(2);
     // Same-extent kernels so the naive blend is well-defined.
     let spec = rrs_spectrum::GridSpec::unit(64, 64);
@@ -117,22 +119,16 @@ fn bench_blend_ablation(c: &mut Criterion) {
         [sm(1.0, 6.0), sm(1.5, 6.0), sm(2.0, 6.0), sm(1.5, 6.0)],
         12.0,
     );
-    let kernels: Vec<ConvolutionKernel> = layout
-        .spectra()
-        .iter()
-        .map(|s| ConvolutionKernel::build_on(s, spec))
-        .collect();
+    let kernels: Vec<ConvolutionKernel> =
+        layout.spectra().iter().map(|s| ConvolutionKernel::build_on(s, spec)).collect();
 
-    let gen = InhomogeneousGenerator::from_kernels(layout.clone(), kernels.clone())
-        .with_workers(1);
-    group.bench_function(BenchmarkId::new("blend_fields", N), |b| {
-        b.iter(|| black_box(gen.generate_window(&noise, 0, 0, N, N)))
+    let gen = InhomogeneousGenerator::from_kernels(layout.clone(), kernels.clone()).with_workers(1);
+    h.bench(&format!("blend_ablation/blend_fields/{N}"), || {
+        black_box(gen.generate_window(&noise, 0, 0, N, N))
     });
-    group.bench_function(BenchmarkId::new("blend_kernels_naive", N), |b| {
-        b.iter(|| black_box(blend_kernels_naive(&layout, &kernels, &noise, N)))
+    h.bench(&format!("blend_ablation/blend_kernels_naive/{N}"), || {
+        black_box(blend_kernels_naive(&layout, &kernels, &noise, N))
     });
-    group.finish();
+
+    h.finish().expect("write BENCH_inhomogeneous.json");
 }
-
-criterion_group!(benches, bench_overhead, bench_blend_ablation);
-criterion_main!(benches);

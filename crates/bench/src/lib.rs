@@ -3,9 +3,15 @@
 //!
 //! [`figures`] builds each figure's generator and the list of homogeneous
 //! sub-regions to validate, parameterised by a linear `scale` so the same
-//! definitions serve the full-size `reproduce` binary, the criterion
-//! benches, and the fast integration tests.
+//! definitions serve the full-size `reproduce` binary, the `bench_*`
+//! timing binaries, and the fast integration tests.
+//!
+//! [`harness`] is the in-repo timing substrate those binaries share:
+//! warmup + repeated timed runs, median/min/stddev summaries, and
+//! machine-readable `BENCH_*.json` output.
 
 pub mod figures;
+pub mod harness;
 
 pub use figures::{Figure, FigureRegion};
+pub use harness::{BenchRecord, Harness};

@@ -1,0 +1,301 @@
+//! Input generators: the [`Gen`] trait and its standard implementations.
+
+use crate::CaseRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A strategy for drawing property inputs from a [`CaseRng`].
+///
+/// Implemented for primitive ranges, tuples, [`Just`], [`Any`], [`VecOf`]
+/// and — via [`from_fn`] — any closure `Fn(&mut CaseRng) -> T`, so ad-hoc
+/// generators are plain functions rather than combinator towers.
+pub trait Gen {
+    /// The type of values this generator produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut CaseRng) -> Self::Value;
+}
+
+/// Maps `gen`'s output through `f`.
+///
+/// A free function rather than a `Gen` method: integer ranges implement
+/// both `Gen` and `Iterator`, so a trait method named `map` would make
+/// every `(0..n).map(…)` iterator chain ambiguous wherever `Gen` is in
+/// scope.
+pub fn map<G, F, U>(gen: G, f: F) -> Map<G, F>
+where
+    G: Gen,
+    F: Fn(G::Value) -> U,
+{
+    Map { gen, f }
+}
+
+/// Adapter returned by [`map`].
+pub struct Map<G, F> {
+    gen: G,
+    f: F,
+}
+
+impl<G, F, U> Gen for Map<G, F>
+where
+    G: Gen,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut CaseRng) -> U {
+        (self.f)(self.gen.generate(rng))
+    }
+}
+
+/// Closure-backed generator; construct via [`from_fn`].
+pub struct FromFn<F>(F);
+
+/// Wraps a closure `Fn(&mut CaseRng) -> T` as a [`Gen`] — the escape hatch
+/// for generators with data-dependent structure.
+pub fn from_fn<T, F: Fn(&mut CaseRng) -> T>(f: F) -> FromFn<F> {
+    FromFn(f)
+}
+
+impl<T, F: Fn(&mut CaseRng) -> T> Gen for FromFn<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut CaseRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Gen for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut CaseRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-width draws for primitives; construct via [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A generator covering `T`'s whole value domain (`any::<u64>()`,
+/// `any::<bool>()`, …), mirroring proptest's `any`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Gen,
+{
+    Any(PhantomData)
+}
+
+impl Gen for Any<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut CaseRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Gen for Any<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut CaseRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Gen for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut CaseRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Gen for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut CaseRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can land exactly on `end` for tiny ranges; stay half-open.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_gen_for_uint_range {
+    ($($t:ty),*) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.next_below(width) as $t
+            }
+        }
+    )*};
+}
+
+impl_gen_for_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_gen_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let width = (self.end as i64 as u64).wrapping_sub(self.start as i64 as u64);
+                (self.start as i64).wrapping_add(rng.next_below(width) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_gen_for_int_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_gen_for_tuple {
+    ($($g:ident / $v:ident),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut CaseRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_gen_for_tuple!(A / a);
+impl_gen_for_tuple!(A / a, B / b);
+impl_gen_for_tuple!(A / a, B / b, C / c);
+impl_gen_for_tuple!(A / a, B / b, C / c, D / d);
+impl_gen_for_tuple!(A / a, B / b, C / c, D / d, E / e);
+impl_gen_for_tuple!(A / a, B / b, C / c, D / d, E / e, F2 / f2);
+
+/// Variable-length `Vec` generator; construct via [`vec_of`].
+pub struct VecOf<G> {
+    elem: G,
+    len: Range<usize>,
+}
+
+/// Draws a `Vec` whose length is uniform in `len` and whose elements come
+/// from `elem` — the replacement for `proptest::collection::vec`.
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecOf<G> {
+    VecOf { elem, len }
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut CaseRng) -> Vec<G::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> CaseRng {
+        CaseRng::new(0xDEADBEEF)
+    }
+
+    #[test]
+    fn float_range_stays_half_open() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = (-2.5f64..7.5).generate(&mut r);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_bounds() {
+        let mut r = rng();
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = (0u8..4).generate(&mut r);
+            assert!(v < 4);
+            seen_lo |= v == 0;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn signed_ranges_span_zero() {
+        let mut r = rng();
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..10_000 {
+            let v = (-1000i64..1000).generate(&mut r);
+            assert!((-1000..1000).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn full_width_u64_range_works() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (1u64..u64::MAX).generate(&mut r);
+            assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let g = map((1usize..10, -1.0f64..1.0), |(n, x)| vec![x; n]);
+        let mut r = rng();
+        let v = g.generate(&mut r);
+        assert!(!v.is_empty() && v.len() < 10);
+    }
+
+    #[test]
+    fn closures_are_generators() {
+        let g = from_fn(|rng: &mut CaseRng| rng.next_u64() % 7);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(g.generate(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let g = vec_of(-1e3f64..1e3, 2..400);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..400).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1e3..1e3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn just_clones_its_value() {
+        let mut r = rng();
+        assert_eq!(Just(41).generate(&mut r), 41);
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let g = (0u64..1000, -1.0f64..1.0, 0u8..4);
+        let mut a = CaseRng::new(7);
+        let mut b = CaseRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(g.generate(&mut a), g.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal property-testing harness for the rrs workspace.
+//!
+//! A hermetic, shrinking-free replacement for the external `proptest`
+//! dependency. Each property runs a configurable number of *cases*; every
+//! case draws its inputs from a dedicated [`CaseRng`] whose 64-bit seed is
+//! derived deterministically from the property's name and the case index,
+//! so a run is bit-reproducible across machines with no regression files.
+//!
+//! On failure the harness prints the failing case's seed and a one-line
+//! reproduction recipe, then re-raises the panic so the standard test
+//! runner reports the property as failed:
+//!
+//! ```text
+//! [rrs-check] property 'properties::mean_is_bounded' failed at case 17/128
+//! [rrs-check] reproduce with: RRS_CHECK_SEED=0x3afc…91 cargo test mean_is_bounded
+//! ```
+//!
+//! # Writing properties
+//!
+//! ```
+//! rrs_check::props! {
+//!     #![cases = 64]
+//!
+//!     fn addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! Inputs are anything implementing [`Gen`]: primitive ranges
+//! (`-3.0f64..3.0`, `1usize..96`), [`any`] for full-width draws,
+//! [`Just`] for constants, tuples of generators, [`vec_of`] for
+//! variable-length vectors, and — the escape hatch — [`from_fn`] over any
+//! closure `Fn(&mut CaseRng) -> T`. Use [`assume!`](crate::assume) to discard a
+//! case that does not satisfy a precondition (the case counts as passed;
+//! there is no replacement draw).
+//!
+//! # Environment knobs
+//!
+//! * `RRS_CHECK_CASES` — overrides every property's case count;
+//! * `RRS_CHECK_SEED` — runs exactly one case with the given seed
+//!   (decimal or `0x…` hex), for replaying a reported failure.
+
+#![warn(missing_docs)]
+
+mod gen;
+mod runner;
+
+pub use gen::{any, from_fn, map, vec_of, Any, FromFn, Gen, Just, Map, VecOf};
+pub use runner::{CaseRng, Runner};
+
+/// Declares a block of property tests.
+///
+/// Syntax mirrors the `proptest!` macro this harness replaces: an optional
+/// `#![cases = N]` header (default 128), then `fn name(arg in gen, …) { …
+/// }` items. Each item expands to a `#[test]` function running `N` seeded
+/// cases.
+#[macro_export]
+macro_rules! props {
+    (
+        #![cases = $cases:expr]
+        $($rest:tt)*
+    ) => {
+        $crate::props!(@with $cases; $($rest)*);
+    };
+    (
+        @with $cases:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $gen:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::Runner::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    ($cases) as u64,
+                )
+                .run(|rng| {
+                    #[allow(unused_variables)]
+                    let rng = rng;
+                    $(#[allow(unused_mut)] let mut $arg = $crate::Gen::generate(&($gen), rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::props!(@with 128u64; $($rest)*);
+    };
+}
+
+/// Discards the current case when `cond` is false.
+///
+/// Unlike proptest's `prop_assume!` no replacement case is drawn — the
+/// case simply counts as passed. The properties in this workspace use
+/// assumptions that hold for the overwhelming majority of draws, so the
+/// effective case count is essentially unchanged.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

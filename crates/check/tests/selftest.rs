@@ -1,0 +1,53 @@
+//! End-to-end exercise of the `props!` macro and the standard generators.
+
+use rrs_check::{any, from_fn, vec_of, CaseRng, Just};
+
+rrs_check::props! {
+    #![cases = 64]
+
+    fn ranges_honor_bounds(x in -1e6f64..1e6, n in 1usize..96, k in -1000i64..1000) {
+        assert!((-1e6..1e6).contains(&x));
+        assert!((1..96).contains(&n));
+        assert!((-1000..1000).contains(&k));
+    }
+
+    fn any_draws_are_deterministic_per_case(seed in any::<u64>(), flag in any::<bool>()) {
+        // Mixing a full-width draw into arithmetic must never panic, and
+        // the bool generator must produce a plain bool.
+        let _ = seed.wrapping_mul(2) ^ u64::from(flag);
+    }
+
+    fn tuples_just_and_closures_compose(
+        pair in (0u8..4, Just(7u32)),
+        v in from_fn(|rng: &mut CaseRng| rng.next_f64() * 2.0 - 1.0),
+    ) {
+        assert!(pair.0 < 4);
+        assert_eq!(pair.1, 7);
+        assert!((-1.0..1.0).contains(&v));
+    }
+
+    fn vectors_have_requested_lengths(xs in vec_of(-1e3f64..1e3, 2..400)) {
+        assert!((2..400).contains(&xs.len()));
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    fn assume_discards_cases(a in 0u64..100, b in 0u64..100) {
+        rrs_check::assume!(a != b);
+        assert_ne!(a, b);
+    }
+
+    fn mid_body_draws_work(n in 1usize..8) {
+        // Data-dependent draw through CaseRng::draw.
+        let extra = |rng: &mut CaseRng| rng.draw(0usize..n);
+        let _ = extra;
+    }
+}
+
+mod headerless {
+    // No `#![cases = …]` header: the default count applies.
+    rrs_check::props! {
+        fn default_case_count_applies(x in 0u64..10) {
+            assert!(x < 10);
+        }
+    }
+}

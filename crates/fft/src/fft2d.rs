@@ -74,7 +74,7 @@ impl Fft2d {
         }
         rrs_par::scope(|s| {
             for band in buf.chunks_mut(rows_per_band * nx) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for row in band.chunks_exact_mut(nx) {
                         process_unnormalised(fft, row, dir);
                     }
@@ -107,7 +107,7 @@ impl Fft2d {
         let ptr = SendPtr(buf.as_mut_ptr());
         rrs_par::scope(|s| {
             for &(c0, c1) in &ranges {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Rebind the whole wrapper first: edition-2021 closures
                     // would otherwise capture the raw-pointer *field* (which
                     // is not Send) instead of the Send wrapper.

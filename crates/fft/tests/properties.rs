@@ -1,6 +1,6 @@
-//! Property-based tests for the FFT substrate.
+//! Property-based tests for the FFT substrate (rrs-check harness).
 
-use proptest::prelude::*;
+use rrs_check::any;
 use rrs_fft::spectral::{fftshift, fold_index, ifftshift, swap_halves_index};
 use rrs_fft::{dft::dft_reference, Direction, Fft, Fft2d};
 use rrs_num::Complex64;
@@ -11,21 +11,19 @@ fn signal(n: usize, seed: u64) -> Vec<Complex64> {
     (0..n).map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+rrs_check::props! {
+    #![cases = 64]
 
-    #[test]
     fn forward_matches_naive_dft(n in 1usize..96, seed in any::<u64>()) {
         let x = signal(n, seed);
         let mut fast = x.clone();
         Fft::new(n).process(&mut fast, Direction::Forward);
         let slow = dft_reference(&x, Direction::Forward);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((*a - *b).abs() < 1e-8 * (n as f64).max(1.0), "n={n}");
+            assert!((*a - *b).abs() < 1e-8 * (n as f64).max(1.0), "n={n}");
         }
     }
 
-    #[test]
     fn linearity(n in 2usize..64, seed in any::<u64>(), alpha in -3.0f64..3.0) {
         let x = signal(n, seed);
         let y = signal(n, seed ^ 0xABCD);
@@ -39,22 +37,20 @@ proptest! {
         fft.process(&mut mix, Direction::Forward);
         for ((m, a), b) in mix.iter().zip(&fx).zip(&fy) {
             let expect = a.scale(alpha) + *b;
-            prop_assert!((*m - expect).abs() < 1e-8);
+            assert!((*m - expect).abs() < 1e-8);
         }
     }
 
-    #[test]
     fn real_input_spectrum_is_hermitian(n in 2usize..80, seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut buf: Vec<Complex64> =
             (0..n).map(|_| Complex64::from_re(rng.next_f64() - 0.5)).collect();
         Fft::new(n).process(&mut buf, Direction::Forward);
         for k in 1..n {
-            prop_assert!((buf[k] - buf[n - k].conj()).abs() < 1e-9, "k={k} n={n}");
+            assert!((buf[k] - buf[n - k].conj()).abs() < 1e-9, "k={k} n={n}");
         }
     }
 
-    #[test]
     fn two_dimensional_round_trip(nx in 1usize..20, ny in 1usize..20, seed in any::<u64>()) {
         let x = signal(nx * ny, seed);
         let fft = Fft2d::with_workers(nx, ny, 2);
@@ -62,32 +58,29 @@ proptest! {
         fft.process(&mut buf, Direction::Forward);
         fft.process(&mut buf, Direction::Inverse);
         for (a, b) in buf.iter().zip(&x) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9);
         }
     }
 
-    #[test]
     fn shifts_are_inverse_permutations(n in 1usize..128) {
         let orig: Vec<usize> = (0..n).collect();
         let mut buf = orig.clone();
         fftshift(&mut buf);
         ifftshift(&mut buf);
-        prop_assert_eq!(buf, orig);
+        assert_eq!(buf, orig);
     }
 
-    #[test]
     fn fold_index_is_symmetric(half in 1usize..64, m in 0usize..128) {
-        prop_assume!(m < 2 * half);
+        rrs_check::assume!(m < 2 * half);
         let folded = fold_index(m, half);
-        prop_assert!(folded <= half);
+        assert!(folded <= half);
         if m > 0 && m < 2 * half {
-            prop_assert_eq!(folded, fold_index((2 * half - m) % (2 * half), half));
+            assert_eq!(folded, fold_index((2 * half - m) % (2 * half), half));
         }
     }
 
-    #[test]
     fn swap_halves_is_involutive(half in 1usize..64, k in 0usize..128) {
-        prop_assume!(k < 2 * half);
-        prop_assert_eq!(swap_halves_index(swap_halves_index(k, half), half), k);
+        rrs_check::assume!(k < 2 * half);
+        assert_eq!(swap_halves_index(swap_halves_index(k, half), half), k);
     }
 }

@@ -4,7 +4,6 @@ use core::fmt;
 
 /// A dense, row-major 2-D array with `x` as the fast (contiguous) axis.
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Grid2<T> {
     nx: usize,
     ny: usize,

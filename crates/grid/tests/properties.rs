@@ -1,10 +1,10 @@
-//! Property-based tests for the grid substrate.
+//! Property-based tests for the grid substrate (rrs-check harness).
 
-use proptest::prelude::*;
+use rrs_check::{any, map, Gen};
 use rrs_grid::Grid2;
 
-fn arb_grid() -> impl Strategy<Value = Grid2<f64>> {
-    (1usize..24, 1usize..24, any::<u64>()).prop_map(|(nx, ny, seed)| {
+fn arb_grid() -> impl Gen<Value = Grid2<f64>> {
+    map((1usize..24, 1usize..24, any::<u64>()), |(nx, ny, seed)| {
         Grid2::from_fn(nx, ny, |x, y| {
             let k = seed
                 .wrapping_mul(6364136223846793005)
@@ -14,25 +14,22 @@ fn arb_grid() -> impl Strategy<Value = Grid2<f64>> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+rrs_check::props! {
+    #![cases = 128]
 
-    #[test]
     fn transpose_is_involutive(g in arb_grid()) {
-        prop_assert_eq!(g.transpose().transpose(), g);
+        assert_eq!(g.transpose().transpose(), g);
     }
 
-    #[test]
     fn transpose_swaps_indices(g in arb_grid()) {
         let t = g.transpose();
         for iy in 0..g.ny() {
             for ix in 0..g.nx() {
-                prop_assert_eq!(*g.get(ix, iy), *t.get(iy, ix));
+                assert_eq!(*g.get(ix, iy), *t.get(iy, ix));
             }
         }
     }
 
-    #[test]
     fn window_blit_round_trip(g in arb_grid(), fx in 0.0f64..1.0, fy in 0.0f64..1.0) {
         let (nx, ny) = g.shape();
         let x0 = (fx * (nx - 1) as f64) as usize;
@@ -42,47 +39,42 @@ proptest! {
         let win = g.window(x0, y0, w, h);
         let mut copy = g.clone();
         copy.blit(x0, y0, &win);
-        prop_assert_eq!(copy, g, "blitting a window back must be a no-op");
+        assert_eq!(copy, g, "blitting a window back must be a no-op");
     }
 
-    #[test]
     fn periodic_access_has_period(g in arb_grid(), ix in -100isize..100, iy in -100isize..100) {
         let (nx, ny) = g.shape();
         let a = g.get_periodic(ix, iy);
         let b = g.get_periodic(ix + nx as isize, iy);
         let c = g.get_periodic(ix, iy - ny as isize);
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a, c);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
-    #[test]
     fn mean_is_translation_equivariant(g in arb_grid(), shift in -100.0f64..100.0) {
         let shifted = g.map(|&v| v + shift);
-        prop_assert!((shifted.mean() - (g.mean() + shift)).abs() < 1e-9);
+        assert!((shifted.mean() - (g.mean() + shift)).abs() < 1e-9);
         // ... and variance is translation invariant.
-        prop_assert!((shifted.variance() - g.variance()).abs() < 1e-9);
+        assert!((shifted.variance() - g.variance()).abs() < 1e-9);
     }
 
-    #[test]
     fn variance_scales_quadratically(g in arb_grid(), k in -10.0f64..10.0) {
         let scaled = g.map(|&v| v * k);
-        prop_assert!((scaled.variance() - k * k * g.variance()).abs() < 1e-9 * (1.0 + k * k));
+        assert!((scaled.variance() - k * k * g.variance()).abs() < 1e-9 * (1.0 + k * k));
     }
 
-    #[test]
     fn min_max_bound_all_samples(g in arb_grid()) {
         let lo = g.min();
         let hi = g.max();
-        prop_assert!(g.as_slice().iter().all(|&v| v >= lo && v <= hi));
-        prop_assert!(g.mean() >= lo && g.mean() <= hi);
+        assert!(g.as_slice().iter().all(|&v| v >= lo && v <= hi));
+        assert!(g.mean() >= lo && g.mean() <= hi);
     }
 
-    #[test]
     fn rows_concatenate_to_storage(g in arb_grid()) {
         let mut cat: Vec<f64> = Vec::new();
         for row in g.rows() {
             cat.extend_from_slice(row);
         }
-        prop_assert_eq!(cat.as_slice(), g.as_slice());
+        assert_eq!(cat.as_slice(), g.as_slice());
     }
 }

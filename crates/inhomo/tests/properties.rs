@@ -1,6 +1,5 @@
 //! Property-based tests for region geometry and weight maps.
 
-use proptest::prelude::*;
 use rrs_inhomo::{Plate, PlateLayout, PointLayout, Region, RepresentativePoint, WeightMap};
 use rrs_spectrum::{SpectrumModel, SurfaceParams};
 
@@ -8,18 +7,16 @@ fn sm() -> SpectrumModel {
     SpectrumModel::gaussian(SurfaceParams::isotropic(1.0, 4.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+rrs_check::props! {
+    #![cases = 256]
 
-    #[test]
     fn circle_sdf_is_exact(cx in -50.0f64..50.0, cy in -50.0f64..50.0, r in 0.5f64..40.0, px in -100.0f64..100.0, py in -100.0f64..100.0) {
         let c = Region::Circle { cx, cy, r };
         let expect = ((px - cx).hypot(py - cy)) - r;
-        prop_assert!((c.signed_distance(px, py) - expect).abs() < 1e-12);
-        prop_assert_eq!(c.contains(px, py), expect <= 0.0);
+        assert!((c.signed_distance(px, py) - expect).abs() < 1e-12);
+        assert_eq!(c.contains(px, py), expect <= 0.0);
     }
 
-    #[test]
     fn rect_sdf_sign_matches_membership(
         x0 in -50.0f64..0.0, y0 in -50.0f64..0.0,
         w in 1.0f64..60.0, h in 1.0f64..60.0,
@@ -29,13 +26,12 @@ proptest! {
         let inside = px >= x0 && px <= x0 + w && py >= y0 && py <= y0 + h;
         let sd = rect.signed_distance(px, py);
         if inside {
-            prop_assert!(sd <= 1e-12, "inside point has sd {sd}");
+            assert!(sd <= 1e-12, "inside point has sd {sd}");
         } else {
-            prop_assert!(sd > -1e-12, "outside point has sd {sd}");
+            assert!(sd > -1e-12, "outside point has sd {sd}");
         }
     }
 
-    #[test]
     fn sdf_is_lipschitz(
         r in 0.5f64..40.0,
         px in -60.0f64..60.0, py in -60.0f64..60.0,
@@ -50,11 +46,10 @@ proptest! {
             let a = region.signed_distance(px, py);
             let b = region.signed_distance(px + dx, py + dy);
             let step = dx.hypot(dy);
-            prop_assert!((a - b).abs() <= step + 1e-9, "{region:?}");
+            assert!((a - b).abs() <= step + 1e-9, "{region:?}");
         }
     }
 
-    #[test]
     fn plate_weights_always_normalised(
         r in 2.0f64..30.0, t in 0.5f64..20.0,
         px in -60.0f64..60.0, py in -60.0f64..60.0,
@@ -67,11 +62,10 @@ proptest! {
         let mut w = Vec::new();
         layout.weights_at(px, py, &mut w);
         let total: f64 = w.iter().map(|&(_, v)| v).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(w.iter().all(|&(_, v)| (0.0..=1.0 + 1e-12).contains(&v)));
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&(_, v)| (0.0..=1.0 + 1e-12).contains(&v)));
     }
 
-    #[test]
     fn point_weights_cover_the_plane(
         t in 0.5f64..50.0,
         px in -200.0f64..200.0, py in -200.0f64..200.0,
@@ -88,11 +82,10 @@ proptest! {
         let mut w = Vec::new();
         layout.weights_at(px, py, &mut w);
         let total: f64 = w.iter().map(|&(_, v)| v).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total} at ({px},{py})");
-        prop_assert!(!w.is_empty());
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total} at ({px},{py})");
+        assert!(!w.is_empty());
     }
 
-    #[test]
     fn tau_is_nonnegative_for_nearest(
         sep in 5.0f64..100.0,
         px in -200.0f64..200.0, py in -200.0f64..200.0,
@@ -106,10 +99,9 @@ proptest! {
         );
         let m_star = layout.nearest(px, py);
         let other = 1 - m_star;
-        prop_assert!(layout.tau(px, py, other, m_star) >= -1e-9);
+        assert!(layout.tau(px, py, other, m_star) >= -1e-9);
     }
 
-    #[test]
     fn transition_is_symmetric_across_bisector(
         sep in 10.0f64..100.0, t in 1.0f64..20.0, off in 0.0f64..1.0,
     ) {
@@ -129,7 +121,7 @@ proptest! {
         let get = |w: &[(usize, f64)], k: usize| {
             w.iter().find(|&&(i, _)| i == k).map_or(0.0, |&(_, v)| v)
         };
-        prop_assert!((get(&wl, 0) - get(&wr, 1)).abs() < 1e-9);
-        prop_assert!((get(&wl, 1) - get(&wr, 0)).abs() < 1e-9);
+        assert!((get(&wl, 0) - get(&wr, 1)).abs() < 1e-9);
+        assert!((get(&wl, 1) - get(&wr, 0)).abs() < 1e-9);
     }
 }

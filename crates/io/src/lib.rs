@@ -9,7 +9,7 @@
 //! * [`image`] — 8-bit PGM heightmaps and PPM renders with a perceptual
 //!   colour ramp (enough to eyeball Figures 1–4 without a plotting stack);
 //! * [`snapshot`] — an exact binary round-trip format (magic + shape +
-//!   little-endian `f64`s) built on `bytes`.
+//!   little-endian `f64`s + FNV-1a checksum), hand-rolled on `std` alone.
 
 #![warn(missing_docs)]
 

@@ -11,13 +11,18 @@
 //! ```
 //!
 //! Round-trips bit-exactly; the checksum catches truncation and
-//! corruption. Built on the `bytes` crate's cursor types.
+//! corruption. Hand-rolled on `std` only: fields are encoded with
+//! `to_le_bytes`/`from_le_bytes`, so the format is pinned in this file
+//! rather than behind a third-party serialisation layer.
 
-use bytes::{Buf, BufMut};
 use rrs_grid::Grid2;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 8] = b"RRSSNAP1";
+/// The 8-byte magic prefix identifying a snapshot stream (format v1).
+pub const MAGIC: &[u8; 8] = b"RRSSNAP1";
+
+/// Byte length of the fixed header: magic + `nx` + `ny`.
+pub const HEADER_LEN: usize = 24;
 
 fn fnv1a(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -30,51 +35,51 @@ fn fnv1a(data: &[u8]) -> u64 {
 
 /// Serialises a grid to the snapshot format.
 pub fn write_snapshot<W: Write>(mut w: W, grid: &Grid2<f64>) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(24 + grid.len() * 8 + 8);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(grid.nx() as u64);
-    buf.put_u64_le(grid.ny() as u64);
+    let mut buf = Vec::with_capacity(HEADER_LEN + grid.len() * 8 + 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(grid.nx() as u64).to_le_bytes());
+    buf.extend_from_slice(&(grid.ny() as u64).to_le_bytes());
     let data_start = buf.len();
     for &v in grid.as_slice() {
-        buf.put_f64_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
     let crc = fnv1a(&buf[data_start..]);
-    buf.put_u64_le(crc);
+    buf.extend_from_slice(&crc.to_le_bytes());
     w.write_all(&buf)
+}
+
+fn read_u64_le(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
 }
 
 /// Deserialises a snapshot, verifying magic, shape and checksum.
 pub fn read_snapshot<R: Read>(mut r: R) -> io::Result<Grid2<f64>> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
-    let mut buf = raw.as_slice();
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if buf.remaining() < 24 {
+    if raw.len() < HEADER_LEN {
         return Err(bad("snapshot too short"));
     }
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &raw[..8] != MAGIC {
         return Err(bad("bad magic"));
     }
-    let nx = buf.get_u64_le() as usize;
-    let ny = buf.get_u64_le() as usize;
-    let n = nx
-        .checked_mul(ny)
-        .ok_or_else(|| bad("shape overflow"))?;
-    if buf.remaining() != n * 8 + 8 {
+    let nx = read_u64_le(&raw, 8) as usize;
+    let ny = read_u64_le(&raw, 16) as usize;
+    let n = nx.checked_mul(ny).ok_or_else(|| bad("shape overflow"))?;
+    let payload = &raw[HEADER_LEN..];
+    if payload.len() != n * 8 + 8 {
         return Err(bad("snapshot length does not match shape"));
     }
-    let data_bytes = &buf.chunk()[..n * 8];
+    let data_bytes = &payload[..n * 8];
     let crc_expect = fnv1a(data_bytes);
-    let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(buf.get_f64_le());
-    }
-    let crc = buf.get_u64_le();
+    let crc = read_u64_le(payload, n * 8);
     if crc != crc_expect {
         return Err(bad("checksum mismatch"));
     }
+    let data: Vec<f64> = data_bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
     Ok(Grid2::from_vec(nx, ny, data))
 }
 
@@ -119,7 +124,7 @@ mod tests {
         let mut buf = Vec::new();
         write_snapshot(&mut buf, &g).unwrap();
         // Flip one data byte.
-        let idx = 24 + 13;
+        let idx = HEADER_LEN + 13;
         buf[idx] ^= 0x40;
         let err = read_snapshot(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("checksum"));

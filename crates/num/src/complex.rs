@@ -11,7 +11,6 @@ use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAss
 /// A complex number `re + j·im` in double precision.
 #[derive(Clone, Copy, Default, PartialEq)]
 #[repr(C)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -1,111 +1,99 @@
-//! Property-based tests for the numerical substrate.
+//! Property-based tests for the numerical substrate (rrs-check harness).
 
-use proptest::prelude::*;
+use rrs_check::any;
 use rrs_num::special::{erf, gamma_p, gamma_q, ln_gamma};
 use rrs_num::{interp, roots, Complex64};
+use std::ops::Range;
 
-fn finite() -> impl Strategy<Value = f64> {
-    -1e6f64..1e6
+fn finite() -> Range<f64> {
+    -1e6..1e6
 }
 
-fn small() -> impl Strategy<Value = f64> {
-    -1e3f64..1e3
+fn small() -> Range<f64> {
+    -1e3..1e3
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+rrs_check::props! {
+    #![cases = 256]
 
-    #[test]
     fn complex_addition_commutes(a in finite(), b in finite(), c in finite(), d in finite()) {
         let x = Complex64::new(a, b);
         let y = Complex64::new(c, d);
-        prop_assert_eq!(x + y, y + x);
+        assert_eq!(x + y, y + x);
     }
 
-    #[test]
     fn complex_multiplication_commutes(a in small(), b in small(), c in small(), d in small()) {
         let x = Complex64::new(a, b);
         let y = Complex64::new(c, d);
         let p = x * y;
         let q = y * x;
-        prop_assert!((p - q).abs() <= 1e-12 * p.abs().max(1.0));
+        assert!((p - q).abs() <= 1e-12 * p.abs().max(1.0));
     }
 
-    #[test]
     fn conjugation_distributes_over_product(a in small(), b in small(), c in small(), d in small()) {
         let x = Complex64::new(a, b);
         let y = Complex64::new(c, d);
         let lhs = (x * y).conj();
         let rhs = x.conj() * y.conj();
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
     }
 
-    #[test]
     fn magnitude_is_multiplicative(a in small(), b in small(), c in small(), d in small()) {
         let x = Complex64::new(a, b);
         let y = Complex64::new(c, d);
         let lhs = (x * y).abs();
         let rhs = x.abs() * y.abs();
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0));
+        assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0));
     }
 
-    #[test]
     fn division_inverts_multiplication(a in small(), b in small(), c in 0.1f64..1e3, d in 0.1f64..1e3) {
         let x = Complex64::new(a, b);
         let y = Complex64::new(c, d);
         let z = (x * y) / y;
-        prop_assert!((z - x).abs() <= 1e-9 * x.abs().max(1.0));
+        assert!((z - x).abs() <= 1e-9 * x.abs().max(1.0));
     }
 
-    #[test]
     fn cis_preserves_angle_addition(t1 in -10.0f64..10.0, t2 in -10.0f64..10.0) {
         let lhs = Complex64::cis(t1) * Complex64::cis(t2);
         let rhs = Complex64::cis(t1 + t2);
-        prop_assert!((lhs - rhs).abs() < 1e-12);
+        assert!((lhs - rhs).abs() < 1e-12);
     }
 
-    #[test]
     fn ln_gamma_satisfies_recurrence(x in 0.05f64..50.0) {
         let lhs = ln_gamma(x + 1.0);
         let rhs = ln_gamma(x) + x.ln();
-        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
     }
 
-    #[test]
     fn incomplete_gamma_halves_sum_to_one(a in 0.1f64..30.0, x in 0.0f64..60.0) {
         let s = gamma_p(a, x) + gamma_q(a, x);
-        prop_assert!((s - 1.0).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&gamma_p(a, x)));
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&gamma_p(a, x)));
     }
 
-    #[test]
     fn erf_is_odd_and_bounded(x in -5.0f64..5.0) {
-        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
-        prop_assert!(erf(x).abs() <= 1.0);
+        assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        assert!(erf(x).abs() <= 1.0);
     }
 
-    #[test]
     fn erf_is_monotone(x in -4.0f64..4.0, dx in 1e-3f64..1.0) {
-        prop_assert!(erf(x + dx) > erf(x));
+        assert!(erf(x + dx) > erf(x));
     }
 
-    #[test]
     fn lerp_stays_in_hull(a in finite(), b in finite(), t in 0.0f64..1.0) {
         let v = interp::lerp(a, b, t);
-        prop_assert!(v >= a.min(b) - 1e-9 * a.abs().max(b.abs()).max(1.0));
-        prop_assert!(v <= a.max(b) + 1e-9 * a.abs().max(b.abs()).max(1.0));
+        assert!(v >= a.min(b) - 1e-9 * a.abs().max(b.abs()).max(1.0));
+        assert!(v <= a.max(b) + 1e-9 * a.abs().max(b.abs()).max(1.0));
     }
 
-    #[test]
     fn unit_ramp_is_clamped_monotone(x0 in -100.0f64..100.0, len in 0.1f64..100.0, x in -300.0f64..300.0, dx in 0.0f64..10.0) {
         let x1 = x0 + len;
         let a = interp::unit_ramp(x, x0, x1);
         let b = interp::unit_ramp(x + dx, x0, x1);
-        prop_assert!((0.0..=1.0).contains(&a));
-        prop_assert!(b >= a);
+        assert!((0.0..=1.0).contains(&a));
+        assert!(b >= a);
     }
 
-    #[test]
     fn brent_finds_roots_of_random_monotone_cubics(r in -5.0f64..5.0, k in 0.1f64..10.0) {
         // f(x) = k·(x − r)·(1 + (x − r)²) is strictly increasing with the
         // single real root r.
@@ -114,17 +102,16 @@ proptest! {
             k * d * (1.0 + d * d)
         };
         let root = roots::brent(f, r - 7.0, r + 9.0, 1e-12, 200).unwrap();
-        prop_assert!((root.x - r).abs() < 1e-7, "root {} vs {r}", root.x);
+        assert!((root.x - r).abs() < 1e-7, "root {} vs {r}", root.x);
     }
 
-    #[test]
     fn interp1_hits_knots_exactly(n in 2usize..20, seed in any::<u64>()) {
         let xs: Vec<f64> = (0..n).map(|i| i as f64 * 1.5).collect();
         let ys: Vec<f64> = (0..n)
             .map(|i| ((seed.wrapping_mul(i as u64 + 1) % 1000) as f64) * 0.01)
             .collect();
         for (x, y) in xs.iter().zip(&ys) {
-            prop_assert_eq!(interp::interp1(&xs, &ys, *x), *y);
+            assert_eq!(interp::interp1(&xs, &ys, *x), *y);
         }
     }
 }

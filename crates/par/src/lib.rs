@@ -1,4 +1,4 @@
-//! Minimal data-parallel substrate built on crossbeam scoped threads.
+//! Minimal data-parallel substrate built on `std::thread::scope`.
 //!
 //! The workspace's hot loops (2-D FFT rows, convolution output rows) are
 //! embarrassingly parallel over disjoint row bands. Rather than pull in a
@@ -21,15 +21,16 @@
 
 use std::num::NonZeroUsize;
 
-pub use crossbeam::thread::Scope;
+pub use std::thread::Scope;
 
-/// Runs `f` inside a crossbeam scoped-thread scope, propagating panics from
-/// worker threads as a panic on the caller.
+/// Runs `f` inside a `std::thread::scope`, propagating panics from worker
+/// threads as a panic on the caller (the scope joins every spawned thread
+/// before returning and re-raises the first panic it observed).
 pub fn scope<'env, F, R>(f: F) -> R
 where
-    F: FnOnce(&Scope<'env>) -> R,
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
 {
-    crossbeam::thread::scope(f).expect("scoped worker thread panicked")
+    std::thread::scope(f)
 }
 
 /// Returns the number of worker threads to use: the `RRS_THREADS`
@@ -66,13 +67,12 @@ where
         f(0, data);
         return;
     }
-    crossbeam::thread::scope(|s| {
+    scope(|s| {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(i, c));
+            s.spawn(move || f(i, c));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Like [`par_chunks_mut`] but hands each closure the *element offset* of
@@ -93,14 +93,13 @@ where
         f(0, data);
         return;
     }
-    crossbeam::thread::scope(|s| {
+    scope(|s| {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
             let start = i * chunk;
-            s.spawn(move |_| f(start, c));
+            s.spawn(move || f(start, c));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Splits a row-major `row_len`-wide buffer into bands of whole rows and
@@ -131,7 +130,7 @@ where
     scope(|s| {
         for (i, band) in data.chunks_mut(rows_per_band * row_len).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(i * rows_per_band, band));
+            s.spawn(move || f(i * rows_per_band, band));
         }
     });
 }
@@ -317,7 +316,7 @@ mod tests {
     fn scope_propagates_results() {
         let data = [1, 2, 3];
         let sum = scope(|s| {
-            let h = s.spawn(|_| data.iter().sum::<i32>());
+            let h = s.spawn(|| data.iter().sum::<i32>());
             h.join().unwrap()
         });
         assert_eq!(sum, 6);

@@ -1,6 +1,6 @@
 //! Property-based tests for the propagation models.
 
-use proptest::prelude::*;
+use rrs_check::any;
 use rrs_grid::Profile;
 use rrs_propagation::diffraction::fresnel_nu;
 use rrs_propagation::{
@@ -8,41 +8,36 @@ use rrs_propagation::{
     knife_edge_loss_db, plane_earth_loss_db, HataEnvironment,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+rrs_check::props! {
+    #![cases = 256]
 
-    #[test]
     fn fspl_is_monotone_in_distance_and_frequency(
         d in 1.0f64..1e5, f in 1e6f64..1e11, kd in 1.01f64..10.0, kf in 1.01f64..10.0,
     ) {
-        prop_assert!(free_space_loss_db(d * kd, f) > free_space_loss_db(d, f));
-        prop_assert!(free_space_loss_db(d, f * kf) > free_space_loss_db(d, f));
+        assert!(free_space_loss_db(d * kd, f) > free_space_loss_db(d, f));
+        assert!(free_space_loss_db(d, f * kf) > free_space_loss_db(d, f));
     }
 
-    #[test]
     fn plane_earth_beats_free_space_far_out(ht in 1.0f64..30.0, hr in 1.0f64..30.0) {
         // Beyond the crossover the 40 dB/decade plane-earth law always
         // exceeds free space at 900 MHz.
         let d = 1e5;
-        prop_assert!(plane_earth_loss_db(d, ht, hr) > free_space_loss_db(d, 900e6));
+        assert!(plane_earth_loss_db(d, ht, hr) > free_space_loss_db(d, 900e6));
     }
 
-    #[test]
     fn knife_edge_loss_is_monotone_and_clamped(nu in -3.0f64..10.0, dnu in 0.001f64..2.0) {
         let a = knife_edge_loss_db(nu);
         let b = knife_edge_loss_db(nu + dnu);
-        prop_assert!(b >= a, "J must be non-decreasing: J({nu})={a}, J({})={b}", nu + dnu);
-        prop_assert!(a >= 0.0);
+        assert!(b >= a, "J must be non-decreasing: J({nu})={a}, J({})={b}", nu + dnu);
+        assert!(a >= 0.0);
     }
 
-    #[test]
     fn fresnel_nu_is_linear_in_height(h in -50.0f64..50.0, d1 in 1.0f64..1e4, d2 in 1.0f64..1e4, lambda in 0.01f64..1.0) {
         let n1 = fresnel_nu(h, d1, d2, lambda);
         let n2 = fresnel_nu(2.0 * h, d1, d2, lambda);
-        prop_assert!((n2 - 2.0 * n1).abs() < 1e-9 * n1.abs().max(1.0));
+        assert!((n2 - 2.0 * n1).abs() < 1e-9 * n1.abs().max(1.0));
     }
 
-    #[test]
     fn diffraction_losses_are_nonnegative(seed in any::<u64>(), n in 8usize..60, amp in 0.0f64..20.0) {
         let heights: Vec<f64> = (0..n)
             .map(|i| {
@@ -53,32 +48,29 @@ proptest! {
         let p = Profile { spacing: 10.0, heights };
         let ep = epstein_peterson_loss_db(&p, 2.0, 2.0, 0.3);
         let dg = deygout_loss_db(&p, 2.0, 2.0, 0.3);
-        prop_assert!(ep >= 0.0 && ep.is_finite());
-        prop_assert!(dg >= 0.0 && dg.is_finite());
+        assert!(ep >= 0.0 && ep.is_finite());
+        assert!(dg >= 0.0 && dg.is_finite());
     }
 
-    #[test]
     fn flat_terrain_never_diffracts(n in 3usize..100, level in -10.0f64..10.0, ht in 0.5f64..20.0) {
         let p = Profile { spacing: 5.0, heights: vec![level; n] };
-        prop_assert_eq!(epstein_peterson_loss_db(&p, ht, ht, 0.125), 0.0);
-        prop_assert_eq!(deygout_loss_db(&p, ht, ht, 0.125), 0.0);
+        assert_eq!(epstein_peterson_loss_db(&p, ht, ht, 0.125), 0.0);
+        assert_eq!(deygout_loss_db(&p, ht, ht, 0.125), 0.0);
     }
 
-    #[test]
     fn hata_ordering_holds_everywhere(
         f in 150.0f64..1500.0, hb in 30.0f64..200.0, hm in 1.0f64..10.0, d in 1.0f64..20.0,
     ) {
         let u = hata_loss_db(HataEnvironment::Urban, f, hb, hm, d);
         let s = hata_loss_db(HataEnvironment::Suburban, f, hb, hm, d);
         let o = hata_loss_db(HataEnvironment::Open, f, hb, hm, d);
-        prop_assert!(u > s && s > o, "u={u} s={s} o={o}");
-        prop_assert!(u.is_finite() && u > 0.0);
+        assert!(u > s && s > o, "u={u} s={s} o={o}");
+        assert!(u.is_finite() && u > 0.0);
     }
 
-    #[test]
     fn hata_is_monotone_in_distance(f in 150.0f64..1500.0, hb in 30.0f64..200.0, d in 1.0f64..19.0) {
         let near = hata_loss_db(HataEnvironment::Urban, f, hb, 1.5, d);
         let far = hata_loss_db(HataEnvironment::Urban, f, hb, 1.5, d + 1.0);
-        prop_assert!(far > near);
+        assert!(far > near);
     }
 }

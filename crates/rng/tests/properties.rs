@@ -1,57 +1,52 @@
-//! Property-based tests for the RNG substrate.
+//! Property-based tests for the RNG substrate (rrs-check harness).
 
-use proptest::prelude::*;
+use rrs_check::any;
 use rrs_rng::{
     BoxMuller, GaussianSource, Pcg32, Polar, RandomSource, SplitMix64, Xoshiro256pp,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+rrs_check::props! {
+    #![cases = 128]
 
-    #[test]
     fn uniform_unit_interval_for_all_generators(seed in any::<u64>()) {
         let mut sm = SplitMix64::new(seed);
         let mut xo = Xoshiro256pp::seed_from_u64(seed);
         let mut pcg = Pcg32::seed_from_u64(seed);
         for _ in 0..64 {
-            prop_assert!((0.0..1.0).contains(&sm.next_f64()));
-            prop_assert!((0.0..1.0).contains(&xo.next_f64()));
-            prop_assert!((0.0..1.0).contains(&pcg.next_f64()));
+            assert!((0.0..1.0).contains(&sm.next_f64()));
+            assert!((0.0..1.0).contains(&xo.next_f64()));
+            assert!((0.0..1.0).contains(&pcg.next_f64()));
         }
     }
 
-    #[test]
     fn open_interval_excludes_zero(seed in any::<u64>()) {
         let mut g = Xoshiro256pp::seed_from_u64(seed);
         for _ in 0..256 {
             let v = g.next_f64_open();
-            prop_assert!(v > 0.0 && v < 1.0);
+            assert!(v > 0.0 && v < 1.0);
         }
     }
 
-    #[test]
     fn next_below_respects_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
         let mut g = Xoshiro256pp::seed_from_u64(seed);
         for _ in 0..32 {
-            prop_assert!(g.next_below(bound) < bound);
+            assert!(g.next_below(bound) < bound);
         }
     }
 
-    #[test]
     fn generators_are_deterministic(seed in any::<u64>()) {
         let mut a = Xoshiro256pp::seed_from_u64(seed);
         let mut b = Xoshiro256pp::seed_from_u64(seed);
         for _ in 0..32 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         let mut p = Pcg32::seed_from_u64(seed);
         let mut q = Pcg32::seed_from_u64(seed);
         for _ in 0..32 {
-            prop_assert_eq!(p.next_u32(), q.next_u32());
+            assert_eq!(p.next_u32(), q.next_u32());
         }
     }
 
-    #[test]
     fn pcg_advance_matches_stepping(seed in any::<u64>(), n in 0u64..4096) {
         let mut a = Pcg32::seed_from_u64(seed);
         let mut b = a.clone();
@@ -59,20 +54,18 @@ proptest! {
             a.next_u32();
         }
         b.advance(n);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
-    #[test]
     fn jumped_streams_do_not_collide(seed in any::<u64>()) {
         let mut a = Xoshiro256pp::seed_from_u64(seed);
         let mut b = a.clone();
         b.jump();
         let wa: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
         let wb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
-        prop_assert_ne!(wa, wb);
+        assert_ne!(wa, wb);
     }
 
-    #[test]
     fn gaussian_deviates_are_finite(seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut bm = BoxMuller::new();
@@ -80,13 +73,12 @@ proptest! {
         for _ in 0..128 {
             let x = bm.sample(&mut rng);
             let y = po.sample(&mut rng);
-            prop_assert!(x.is_finite() && y.is_finite());
+            assert!(x.is_finite() && y.is_finite());
             // A |z| > 10 draw has probability < 1e-23: treat as a bug.
-            prop_assert!(x.abs() < 10.0 && y.abs() < 10.0);
+            assert!(x.abs() < 10.0 && y.abs() < 10.0);
         }
     }
 
-    #[test]
     fn scaled_sampling_is_affine(seed in any::<u64>(), mean in -100.0f64..100.0, sigma in 0.01f64..50.0) {
         let mut r1 = Xoshiro256pp::seed_from_u64(seed);
         let mut r2 = Xoshiro256pp::seed_from_u64(seed);
@@ -94,6 +86,6 @@ proptest! {
         let mut g2 = BoxMuller::new();
         let raw = g1.sample(&mut r1);
         let scaled = g2.sample_scaled(&mut r2, mean, sigma);
-        prop_assert!((scaled - (mean + sigma * raw)).abs() < 1e-12 * scaled.abs().max(1.0));
+        assert!((scaled - (mean + sigma * raw)).abs() < 1e-12 * scaled.abs().max(1.0));
     }
 }

@@ -22,7 +22,6 @@ use rrs_num::Complex64;
 /// The sampling lattice of a discrete surface or kernel: `nx × ny` samples
 /// at spacings `dx`, `dy`, so domain lengths are `Lx = nx·dx`, `Ly = ny·dy`.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridSpec {
     /// Samples along `x`; must be even (the lattice is `2Mx` bins).
     pub nx: usize,

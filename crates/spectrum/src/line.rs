@@ -20,7 +20,6 @@ use rrs_fft::spectral::{angular_frequency, fold_index};
 
 /// Statistical parameters of a 1-D profile.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LineParams {
     /// Height standard deviation.
     pub h: f64,
@@ -58,7 +57,6 @@ pub trait Spectrum1d: Send + Sync {
 
 /// Gaussian 1-D spectrum.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gaussian1d {
     /// Profile parameters.
     pub params: LineParams,
@@ -91,7 +89,6 @@ impl Spectrum1d for Gaussian1d {
 
 /// Exponential 1-D spectrum (Lorentzian density).
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Exponential1d {
     /// Profile parameters.
     pub params: LineParams,

@@ -18,7 +18,6 @@ use crate::SurfaceParams;
 
 /// A superposition of independent spectrum components.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mixture {
     components: Vec<SpectrumModel>,
 }

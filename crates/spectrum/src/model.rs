@@ -29,7 +29,6 @@ pub trait Spectrum: Send + Sync {
 /// `W(K) = clx·cly·h²/(4π) · exp(-(Kx·clx/2)² − (Ky·cly/2)²)`,
 /// with autocorrelation `ρ(r) = h² exp(−(x/clx)² − (y/cly)²)` (eqn 6).
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gaussian {
     /// Surface parameters.
     pub params: SurfaceParams,
@@ -68,7 +67,6 @@ impl Spectrum for Gaussian {
 /// `ρ(r) = h² · 2^{2−N}/Γ(N−1) · u^{N−1} · K_{N−1}(u)` (eqn 8), `u` the
 /// scaled radius and `K_ν` the modified Bessel function.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerLaw {
     /// Surface parameters.
     pub params: SurfaceParams,
@@ -132,7 +130,6 @@ impl Spectrum for PowerLaw {
 /// `W(K) = clx·cly·h²/(2π) · (1 + (Kx·clx)² + (Ky·cly)²)^{−3/2}`,
 /// with autocorrelation `ρ(r) = h² exp(−u)` (eqn 10).
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Exponential {
     /// Surface parameters.
     pub params: SurfaceParams,
@@ -167,7 +164,6 @@ impl Spectrum for Exponential {
 /// A closed enumeration of the three families, for configuration,
 /// serialisation, and `dyn`-free storage in kernel banks.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SpectrumModel {
     /// Gaussian family.
     Gaussian(Gaussian),

@@ -4,7 +4,6 @@
 /// standard deviation `h` and the correlation lengths `clx`, `cly` along
 /// the two axes (grid units).
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SurfaceParams {
     /// Standard deviation of height, `h` in the paper.
     pub h: f64,

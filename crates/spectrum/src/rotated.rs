@@ -17,7 +17,6 @@ use crate::SurfaceParams;
 
 /// A spectrum rotated counter-clockwise by `theta` radians.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rotated<S> {
     /// The unrotated model.
     pub inner: S,

@@ -1,18 +1,19 @@
 //! Property-based tests for the spectrum models and discrete arrays.
 
-use proptest::prelude::*;
+use rrs_check::{map, Gen};
 use rrs_spectrum::{
     amplitude_array, weight_array, Exponential, Gaussian, GridSpec, PowerLaw, Rotated, Spectrum,
     SpectrumModel, SurfaceParams,
 };
 
-fn arb_params() -> impl Strategy<Value = SurfaceParams> {
-    (0.05f64..5.0, 1.0f64..30.0, 1.0f64..30.0)
-        .prop_map(|(h, clx, cly)| SurfaceParams::new(h, clx, cly))
+fn arb_params() -> impl Gen<Value = SurfaceParams> {
+    map((0.05f64..5.0, 1.0f64..30.0, 1.0f64..30.0), |(h, clx, cly)| {
+        SurfaceParams::new(h, clx, cly)
+    })
 }
 
-fn arb_model() -> impl Strategy<Value = SpectrumModel> {
-    (arb_params(), 0u8..4).prop_map(|(p, fam)| match fam {
+fn arb_model() -> impl Gen<Value = SpectrumModel> {
+    map((arb_params(), 0u8..4), |(p, fam)| match fam {
         0 => SpectrumModel::gaussian(p),
         1 => SpectrumModel::power_law(p, 2.0),
         2 => SpectrumModel::power_law(p, 3.0),
@@ -20,46 +21,40 @@ fn arb_model() -> impl Strategy<Value = SpectrumModel> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+rrs_check::props! {
+    #![cases = 128]
 
-    #[test]
     fn density_is_non_negative_and_even(m in arb_model(), kx in -3.0f64..3.0, ky in -3.0f64..3.0) {
         let w = m.density(kx, ky);
-        prop_assert!(w >= 0.0 && w.is_finite());
-        prop_assert!((w - m.density(-kx, -ky)).abs() < 1e-12 * w.max(1e-300));
+        assert!(w >= 0.0 && w.is_finite());
+        assert!((w - m.density(-kx, -ky)).abs() < 1e-12 * w.max(1e-300));
     }
 
-    #[test]
     fn density_peaks_at_origin(m in arb_model(), kx in -3.0f64..3.0, ky in -3.0f64..3.0) {
-        prop_assert!(m.density(0.0, 0.0) >= m.density(kx, ky));
+        assert!(m.density(0.0, 0.0) >= m.density(kx, ky));
     }
 
-    #[test]
     fn autocorrelation_is_bounded_by_variance(m in arb_model(), x in -100.0f64..100.0, y in -100.0f64..100.0) {
         let rho = m.autocorrelation(x, y);
         let v = m.params().variance();
-        prop_assert!(rho.is_finite());
-        prop_assert!(rho <= v + 1e-12 * v.max(1.0), "ρ({x},{y}) = {rho} exceeds h² = {v}");
-        prop_assert!(rho >= -1e-12, "all three families are non-negative definite");
+        assert!(rho.is_finite());
+        assert!(rho <= v + 1e-12 * v.max(1.0), "ρ({x},{y}) = {rho} exceeds h² = {v}");
+        assert!(rho >= -1e-12, "all three families are non-negative definite");
     }
 
-    #[test]
     fn autocorrelation_is_even(m in arb_model(), x in -50.0f64..50.0, y in -50.0f64..50.0) {
         let a = m.autocorrelation(x, y);
         let b = m.autocorrelation(-x, -y);
-        prop_assert!((a - b).abs() < 1e-12 * a.abs().max(1e-300));
+        assert!((a - b).abs() < 1e-12 * a.abs().max(1e-300));
     }
 
-    #[test]
     fn autocorrelation_decays_along_rays(m in arb_model(), theta in 0.0f64..6.2, r in 0.5f64..50.0) {
         let (s, c) = theta.sin_cos();
         let near = m.autocorrelation(r * c, r * s);
         let far = m.autocorrelation(2.0 * r * c, 2.0 * r * s);
-        prop_assert!(far <= near + 1e-12, "ρ must be radially decreasing in scaled space");
+        assert!(far <= near + 1e-12, "ρ must be radially decreasing in scaled space");
     }
 
-    #[test]
     fn weight_array_is_non_negative_and_sums_to_variance(m in arb_model()) {
         // Resolve the spectral peak: the lattice must span several
         // correlation lengths per axis or the Riemann sum over W's sharp
@@ -69,52 +64,47 @@ proptest! {
         let spec = GridSpec::unit(pick(p.clx), pick(p.cly));
         let w = weight_array(&m, spec);
         let total: f64 = w.as_slice().iter().sum();
-        prop_assert!(w.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(w.as_slice().iter().all(|&v| v >= 0.0));
         // Adequately sampled, Σw ∈ (0.8·h², 1.2·h²] across all families
         // (the Exponential tail loses up to 1/(π·cl)).
         let v = p.variance();
-        prop_assert!(total <= 1.2 * v + 1e-12 && total >= 0.6 * v, "Σw = {total}, h² = {v}");
+        assert!(total <= 1.2 * v + 1e-12 && total >= 0.6 * v, "Σw = {total}, h² = {v}");
     }
 
-    #[test]
     fn amplitude_squares_to_weight(m in arb_model()) {
         let spec = GridSpec::unit(16, 16);
         let w = weight_array(&m, spec);
         let v = amplitude_array(&m, spec);
         for (a, b) in v.as_slice().iter().zip(w.as_slice()) {
-            prop_assert!((a * a - b).abs() < 1e-12 * b.max(1.0));
+            assert!((a * a - b).abs() < 1e-12 * b.max(1.0));
         }
     }
 
-    #[test]
     fn gaussian_correlation_length_definition(p in arb_params()) {
         // ρ(clx, 0) = h²/e exactly for the Gaussian family.
         let g = Gaussian::new(p);
         let rho = g.autocorrelation(p.clx, 0.0);
-        prop_assert!((rho - p.variance() * (-1.0f64).exp()).abs() < 1e-12 * p.variance().max(1e-12));
+        assert!((rho - p.variance() * (-1.0f64).exp()).abs() < 1e-12 * p.variance().max(1e-12));
     }
 
-    #[test]
     fn exponential_correlation_length_definition(p in arb_params()) {
         let e = Exponential::new(p);
         let rho = e.autocorrelation(0.0, p.cly);
-        prop_assert!((rho - p.variance() * (-1.0f64).exp()).abs() < 1e-12 * p.variance().max(1e-12));
+        assert!((rho - p.variance() * (-1.0f64).exp()).abs() < 1e-12 * p.variance().max(1e-12));
     }
 
-    #[test]
     fn power_law_order_interpolates_families(p in arb_params(), n in 1.1f64..6.0) {
         // Any valid order gives a well-behaved model.
         let m = PowerLaw::new(p, n);
-        prop_assert!(m.density(0.1, 0.2).is_finite());
+        assert!(m.density(0.1, 0.2).is_finite());
         let rho = m.autocorrelation(p.clx * 0.5, 0.0);
-        prop_assert!(rho > 0.0 && rho < p.variance() * (1.0 + 1e-12));
+        assert!(rho > 0.0 && rho < p.variance() * (1.0 + 1e-12));
     }
 
     /// Regression for the signed-frequency fix: rotated anisotropic
     /// spectra (no quadrant symmetry) must still produce weight arrays
     /// summing to h². A magnitude-folded sampling would overweight one
     /// diagonal and fail this badly.
-    #[test]
     fn rotated_weight_arrays_sum_to_variance(
         theta in -3.2f64..3.2,
         clx in 4.0f64..20.0,
@@ -126,6 +116,6 @@ proptest! {
         let spec = GridSpec::unit(pick(p.clx), pick(p.cly));
         let w = weight_array(&s, spec);
         let total: f64 = w.as_slice().iter().sum();
-        prop_assert!((total - 1.0).abs() < 0.02, "theta={theta}: Σw = {total}");
+        assert!((total - 1.0).abs() < 0.02, "theta={theta}: Σw = {total}");
     }
 }

@@ -1,16 +1,15 @@
 //! Property-based tests for the statistics crate.
 
-use proptest::prelude::*;
+use rrs_check::{any, vec_of, VecOf};
 use rrs_stats::{autocorrelation_lags, estimate_correlation_length, Histogram, Moments};
 
-fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e3f64..1e3, 2..400)
+fn arb_samples() -> VecOf<std::ops::Range<f64>> {
+    vec_of(-1e3f64..1e3, 2..400)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+rrs_check::props! {
+    #![cases = 128]
 
-    #[test]
     fn moments_merge_is_order_independent(xs in arb_samples(), split in 0.0f64..1.0) {
         let cut = ((xs.len() as f64 * split) as usize).min(xs.len());
         let whole = Moments::from_slice(&xs);
@@ -18,29 +17,26 @@ proptest! {
         let b = Moments::from_slice(&xs[cut..]);
         let ab = a.merge(&b);
         let ba = b.merge(&a);
-        prop_assert!((ab.mean() - whole.mean()).abs() < 1e-8 * whole.mean().abs().max(1.0));
-        prop_assert!((ab.variance() - whole.variance()).abs() < 1e-6 * whole.variance().max(1.0));
-        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-10 * ab.mean().abs().max(1.0));
-        prop_assert_eq!(ab.count(), whole.count());
+        assert!((ab.mean() - whole.mean()).abs() < 1e-8 * whole.mean().abs().max(1.0));
+        assert!((ab.variance() - whole.variance()).abs() < 1e-6 * whole.variance().max(1.0));
+        assert!((ab.mean() - ba.mean()).abs() < 1e-10 * ab.mean().abs().max(1.0));
+        assert_eq!(ab.count(), whole.count());
     }
 
-    #[test]
     fn variance_is_nonnegative_and_zero_for_constants(c in -1e6f64..1e6, n in 2usize..100) {
         let m = Moments::from_slice(&vec![c; n]);
-        prop_assert!(m.variance().abs() < 1e-9 * c.abs().max(1.0));
-        prop_assert!(Moments::from_slice(&[c, c + 1.0]).variance() > 0.0);
+        assert!(m.variance().abs() < 1e-9 * c.abs().max(1.0));
+        assert!(Moments::from_slice(&[c, c + 1.0]).variance() > 0.0);
     }
 
-    #[test]
     fn histogram_conserves_counts(xs in arb_samples(), bins in 1usize..40) {
         let mut h = Histogram::new(-500.0, 500.0, bins);
         h.push_all(&xs);
-        prop_assert_eq!(h.total() as usize, xs.len());
+        assert_eq!(h.total() as usize, xs.len());
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
     }
 
-    #[test]
     fn autocorrelation_zero_lag_dominates(seed in any::<u64>(), n in 8usize..48) {
         // For any field, |ρ̂(d)| ≤ ρ̂(0) (Cauchy–Schwarz) with the periodic
         // estimator; the open estimator obeys it to good approximation on
@@ -53,25 +49,23 @@ proptest! {
         });
         let c = autocorrelation_lags(&g, &[(0, 0), (1, 0), (0, 1), (2, 2)]);
         for &v in &c[1..] {
-            prop_assert!(v.abs() <= c[0] * 1.5 + 1e-12);
+            assert!(v.abs() <= c[0] * 1.5 + 1e-12);
         }
-        prop_assert!(c[0] >= 0.0);
+        assert!(c[0] >= 0.0);
     }
 
-    #[test]
-    fn estimator_never_returns_nonpositive_length(profile in proptest::collection::vec(0.0f64..1.5, 2..100), spacing in 0.1f64..5.0) {
+    fn estimator_never_returns_nonpositive_length(profile in vec_of(0.0f64..1.5, 2..100), spacing in 0.1f64..5.0) {
         if let Some(cl) = estimate_correlation_length(&profile, spacing) {
-            prop_assert!(cl > 0.0);
-            prop_assert!(cl <= (profile.len() - 1) as f64 * spacing);
+            assert!(cl > 0.0);
+            assert!(cl <= (profile.len() - 1) as f64 * spacing);
         }
     }
 
-    #[test]
     fn skewness_flips_under_negation(xs in arb_samples()) {
         let m = Moments::from_slice(&xs);
         let neg: Vec<f64> = xs.iter().map(|&v| -v).collect();
         let mn = Moments::from_slice(&neg);
-        prop_assert!((m.skewness() + mn.skewness()).abs() < 1e-7 * m.skewness().abs().max(1.0));
-        prop_assert!((m.kurtosis() - mn.kurtosis()).abs() < 1e-7 * m.kurtosis().abs().max(1.0));
+        assert!((m.skewness() + mn.skewness()).abs() < 1e-7 * m.skewness().abs().max(1.0));
+        assert!((m.kurtosis() - mn.kurtosis()).abs() < 1e-7 * m.kurtosis().abs().max(1.0));
     }
 }

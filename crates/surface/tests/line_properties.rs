@@ -1,39 +1,35 @@
 //! Property-based tests for the 1-D profile pipeline.
 
-use proptest::prelude::*;
+use rrs_check::any;
 use rrs_spectrum::line::{Exponential1d, Gaussian1d, LineParams};
 use rrs_surface::{LineGenerator, LineKernel};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+rrs_check::props! {
+    #![cases = 48]
 
-    #[test]
     fn kernel_energy_matches_variance(h in 0.1f64..3.0, cl in 3.0f64..20.0) {
         let k = LineKernel::build_auto(&Gaussian1d::new(LineParams::new(h, cl)));
         let rel = (k.energy() - h * h).abs() / (h * h);
-        prop_assert!(rel < 1e-6, "energy {}, h² {}", k.energy(), h * h);
+        assert!(rel < 1e-6, "energy {}, h² {}", k.energy(), h * h);
     }
 
-    #[test]
     fn exponential_kernel_energy_within_tail(h in 0.1f64..3.0, cl in 3.0f64..20.0) {
         let k = LineKernel::build_auto(&Exponential1d::new(LineParams::new(h, cl)));
         // Lorentzian density loses ≈ 2/(π²·cl/dx·...) — bounded by ~1/cl.
         let rel = (k.energy() - h * h).abs() / (h * h);
-        prop_assert!(rel < 0.05 + 1.0 / cl, "energy {}, h² {}", k.energy(), h * h);
+        assert!(rel < 0.05 + 1.0 / cl, "energy {}, h² {}", k.energy(), h * h);
     }
 
-    #[test]
     fn kernels_are_even(h in 0.1f64..2.0, cl in 3.0f64..15.0) {
         let k = LineKernel::build(&Gaussian1d::new(LineParams::new(h, cl)), 128);
         let w = k.weights();
         let n = w.len();
         for i in 1..n / 2 {
             // Centred layout: w[c+i] == w[c−i] around the centre c = n/2.
-            prop_assert!((w[n / 2 + i] - w[n / 2 - i]).abs() < 1e-12, "offset {i}");
+            assert!((w[n / 2 + i] - w[n / 2 - i]).abs() < 1e-12, "offset {i}");
         }
     }
 
-    #[test]
     fn windows_tile_for_any_geometry(
         seed in any::<u64>(),
         x0 in -500i64..500,
@@ -46,28 +42,26 @@ proptest! {
         let left = gen.generate(x0, cut);
         let right = gen.generate(x0 + cut as i64, len - cut);
         for i in 0..cut {
-            prop_assert_eq!(whole.heights[i], left.heights[i]);
+            assert_eq!(whole.heights[i], left.heights[i]);
         }
         for i in 0..len - cut {
-            prop_assert_eq!(whole.heights[cut + i], right.heights[i]);
+            assert_eq!(whole.heights[cut + i], right.heights[i]);
         }
     }
 
-    #[test]
     fn truncation_never_gains_energy(eps in 0.002f64..0.3, cl in 3.0f64..12.0) {
         let k = LineKernel::build(&Gaussian1d::new(LineParams::new(1.0, cl)), 256);
         let t = k.truncated(eps);
-        prop_assert!(t.energy() <= k.energy() + 1e-12);
+        assert!(t.energy() <= k.energy() + 1e-12);
         let loss = ((k.energy() - t.energy()).max(0.0) / k.energy()).sqrt();
-        prop_assert!(loss <= eps * 1.05, "loss {loss} vs {eps}");
+        assert!(loss <= eps * 1.05, "loss {loss} vs {eps}");
     }
 
-    #[test]
     fn different_rows_differ(seed in any::<u64>(), r1 in -10i64..10, r2 in -10i64..10) {
-        prop_assume!(r1 != r2);
+        rrs_check::assume!(r1 != r2);
         let s = Gaussian1d::new(LineParams::new(1.0, 4.0));
         let a = LineGenerator::new(&s, seed).with_row(r1).generate(0, 64);
         let b = LineGenerator::new(&s, seed).with_row(r2).generate(0, 64);
-        prop_assert_ne!(a.heights, b.heights);
+        assert_ne!(a.heights, b.heights);
     }
 }

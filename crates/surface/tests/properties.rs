@@ -1,23 +1,21 @@
 //! Property-based tests for the surface generators.
 
-use proptest::prelude::*;
+use rrs_check::any;
 use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
 use rrs_surface::{
     ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing, NoiseField,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+rrs_check::props! {
+    #![cases = 32]
 
-    #[test]
     fn noise_field_is_a_pure_function(seed in any::<u64>(), x in -1000i64..1000, y in -1000i64..1000) {
         let f = NoiseField::new(seed);
         let v = f.at(x, y);
-        prop_assert!(v.is_finite());
-        prop_assert_eq!(v, NoiseField::new(seed).at(x, y));
+        assert!(v.is_finite());
+        assert_eq!(v, NoiseField::new(seed).at(x, y));
     }
 
-    #[test]
     fn noise_windows_always_agree_with_points(
         seed in any::<u64>(),
         x0 in -100i64..100,
@@ -29,44 +27,40 @@ proptest! {
         let win = f.window(x0, y0, w, h);
         for iy in 0..h {
             for ix in 0..w {
-                prop_assert_eq!(win[iy * w + ix], f.at(x0 + ix as i64, y0 + iy as i64));
+                assert_eq!(win[iy * w + ix], f.at(x0 + ix as i64, y0 + iy as i64));
             }
         }
     }
 
-    #[test]
     fn kernels_are_even_for_any_parameters(h in 0.1f64..3.0, clx in 2.0f64..10.0, cly in 2.0f64..10.0) {
         let s = Gaussian::new(SurfaceParams::new(h, clx, cly));
         let k = ConvolutionKernel::build(&s, KernelSizing::Auto { factor: 6.0, min: 16, max: 96 });
         let (kw, kh) = k.extent();
         for jy in -(kh as i64) / 2 + 1..(kh as i64) / 2 {
             for jx in -(kw as i64) / 2 + 1..(kw as i64) / 2 {
-                prop_assert!((k.weight_at(jx, jy) - k.weight_at(-jx, -jy)).abs() < 1e-12);
+                assert!((k.weight_at(jx, jy) - k.weight_at(-jx, -jy)).abs() < 1e-12);
             }
         }
     }
 
-    #[test]
     fn truncation_never_gains_energy(h in 0.1f64..3.0, cl in 2.0f64..10.0, eps in 0.001f64..0.5) {
         let s = Gaussian::new(SurfaceParams::isotropic(h, cl));
         let k = ConvolutionKernel::build(&s, KernelSizing::Auto { factor: 8.0, min: 16, max: 128 });
         let t = k.truncated(eps);
-        prop_assert!(t.energy() <= k.energy() + 1e-12);
+        assert!(t.energy() <= k.energy() + 1e-12);
         let loss = ((k.energy() - t.energy()).max(0.0) / k.energy()).sqrt();
-        prop_assert!(loss <= eps * 1.05, "loss {loss} vs eps {eps}");
-        prop_assert!(t.extent().0 <= k.extent().0);
+        assert!(loss <= eps * 1.05, "loss {loss} vs eps {eps}");
+        assert!(t.extent().0 <= k.extent().0);
     }
 
-    #[test]
     fn direct_generator_output_is_finite_and_shaped(seed in any::<u64>(), exp in 2u32..6) {
         let n = 1usize << exp;
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 3.0));
         let f = DirectDftGenerator::with_workers(s, GridSpec::unit(n, n), 1).generate(seed);
-        prop_assert_eq!(f.shape(), (n, n));
-        prop_assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(f.shape(), (n, n));
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
     }
 
-    #[test]
     fn convolution_windows_translate_consistently(
         seed in any::<u64>(),
         dx in -32i64..32,
@@ -85,12 +79,11 @@ proptest! {
         let b = gen.generate_window(&noise, dx, dy, 16, 16);
         for iy in 0..8 {
             for ix in 0..8 {
-                prop_assert_eq!(*a.get(ix, iy), *b.get(ix, iy));
+                assert_eq!(*a.get(ix, iy), *b.get(ix, iy));
             }
         }
     }
 
-    #[test]
     fn variance_tracks_h_squared(h in 0.2f64..3.0, seed in any::<u64>()) {
         let s = Gaussian::new(SurfaceParams::isotropic(h, 4.0));
         let gen = ConvolutionGenerator::new(
@@ -100,6 +93,6 @@ proptest! {
         let f = gen.generate_window(&NoiseField::new(seed), 0, 0, 128, 128);
         let raw = f.as_slice().iter().map(|v| v * v).sum::<f64>() / f.len() as f64;
         // 32² patches ⇒ ~4.4% relative sigma on the variance; 6 sigma guard.
-        prop_assert!((raw - h * h).abs() < 0.3 * h * h, "raw var {raw} vs h² {}", h * h);
+        assert!((raw - h * h).abs() < 0.3 * h * h, "raw var {raw} vs h² {}", h * h);
     }
 }

@@ -1,33 +1,31 @@
-//! Property-based integration tests over the public API (proptest).
+//! Property-based integration tests over the public API (rrs-check).
 //!
 //! Each property quantifies an invariant the reproduction rests on:
 //! transform identities, kernel energy conservation, tiling exactness,
 //! and estimator sanity — exercised over randomly drawn shapes, seeds and
 //! parameters rather than hand-picked cases.
 
-use proptest::prelude::*;
 use rrs::fft::{Direction, Fft};
 use rrs::num::Complex64;
 use rrs::prelude::*;
 use rrs::rng::{RandomSource, Xoshiro256pp};
+use rrs_check::{any, from_fn, Gen};
 
-fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    (1..max_len).prop_flat_map(|n| {
-        (any::<u64>(), Just(n)).prop_map(|(seed, n)| {
-            let mut rng = Xoshiro256pp::seed_from_u64(seed);
-            (0..n)
-                .map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
-                .collect()
-        })
+fn arb_signal(max_len: usize) -> impl Gen<Value = Vec<Complex64>> {
+    from_fn(move |rng| {
+        let n = 1 + (rng.next_below((max_len - 1) as u64) as usize);
+        let mut src = Xoshiro256pp::seed_from_u64(rng.next_u64());
+        (0..n)
+            .map(|_| Complex64::new(src.next_f64() - 0.5, src.next_f64() - 0.5))
+            .collect()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+rrs_check::props! {
+    #![cases = 48]
 
     /// FFT round-trip identity for arbitrary lengths (radix-2 and
     /// Bluestein paths alike).
-    #[test]
     fn fft_round_trip(signal in arb_signal(200)) {
         let n = signal.len();
         let fft = Fft::new(n);
@@ -35,24 +33,22 @@ proptest! {
         fft.process(&mut buf, Direction::Forward);
         fft.process(&mut buf, Direction::Inverse);
         for (a, b) in buf.iter().zip(&signal) {
-            prop_assert!((*a - *b).abs() < 1e-9, "length {n}");
+            assert!((*a - *b).abs() < 1e-9, "length {n}");
         }
     }
 
     /// Parseval's identity for arbitrary lengths.
-    #[test]
     fn fft_parseval(signal in arb_signal(160)) {
         let n = signal.len();
         let mut buf = signal.clone();
         Fft::new(n).process(&mut buf, Direction::Forward);
         let t: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
         let f: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-        prop_assert!((t - f).abs() <= 1e-9 * t.max(1.0));
+        assert!((t - f).abs() <= 1e-9 * t.max(1.0));
     }
 
     /// Kernel energy equals the surface variance for random parameters
     /// and spectra (the normalisation chain w → v → w̃ is exact).
-    #[test]
     fn kernel_energy_equals_variance(
         h in 0.1f64..4.0,
         cl in 3.0f64..12.0,
@@ -76,12 +72,11 @@ proptest! {
             2 => 0.02 + 1.5 / (core::f64::consts::PI * cl),
             _ => 0.03,
         };
-        prop_assert!(rel < bound, "family {family}: energy {}, h² {}", k.energy(), h * h);
+        assert!(rel < bound, "family {family}: energy {}, h² {}", k.energy(), h * h);
     }
 
     /// Window tiling of the homogeneous generator is exact for random
     /// window geometry and seeds.
-    #[test]
     fn window_tiling_is_exact(
         seed in any::<u64>(),
         x0 in -50i64..50,
@@ -110,14 +105,13 @@ proptest! {
         );
         for iy in 0..h - sy {
             for ix in 0..w - sx {
-                prop_assert_eq!(*sub.get(ix, iy), *big.get(ix + sx, iy + sy));
+                assert_eq!(*sub.get(ix, iy), *big.get(ix + sx, iy + sy));
             }
         }
     }
 
     /// Plate-layout weights are a partition of unity everywhere, for
     /// random rectangle geometry.
-    #[test]
     fn plate_weights_partition_unity(
         cx in 10.0f64..90.0,
         cy in 10.0f64..90.0,
@@ -138,13 +132,12 @@ proptest! {
         use rrs::inhomo::WeightMap;
         layout.weights_at(px, py, &mut w);
         let total: f64 = w.iter().map(|&(_, v)| v).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
-        prop_assert!(w.iter().all(|&(_, v)| v >= 0.0));
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert!(w.iter().all(|&(_, v)| v >= 0.0));
     }
 
     /// Point-layout weights are a partition of unity with the nearest
     /// point dominating, for random point sets.
-    #[test]
     fn point_weights_partition_unity(
         seed in any::<u64>(),
         n_points in 2usize..8,
@@ -167,14 +160,13 @@ proptest! {
         let mut w = Vec::new();
         layout.weights_at(px, py, &mut w);
         let total: f64 = w.iter().map(|&(_, v)| v).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         let nearest = layout.nearest(px, py);
         let wn = w.iter().find(|&&(k, _)| k == nearest).map_or(0.0, |&(_, v)| v);
-        prop_assert!(wn >= 0.5 - 1e-9, "nearest weight {wn}");
+        assert!(wn >= 0.5 - 1e-9, "nearest weight {wn}");
     }
 
     /// Snapshot serialisation round-trips arbitrary grids bit-exactly.
-    #[test]
     fn snapshot_round_trip(
         nx in 1usize..24,
         ny in 1usize..24,
@@ -185,12 +177,11 @@ proptest! {
         let mut buf = Vec::new();
         rrs::io::write_snapshot(&mut buf, &g).unwrap();
         let back = rrs::io::read_snapshot(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, g);
+        assert_eq!(back, g);
     }
 
     /// The correlation-length estimator inverts known profiles for random
     /// true lengths and spacings.
-    #[test]
     fn correlation_length_estimator_inverts(
         cl in 2.0f64..30.0,
         spacing in 0.25f64..4.0,
@@ -203,10 +194,10 @@ proptest! {
             })
             .collect();
         if let Some(est) = rrs::stats::estimate_correlation_length(&profile, spacing) {
-            prop_assert!((est - cl).abs() < 0.1 * cl + spacing, "est {est} vs {cl}");
+            assert!((est - cl).abs() < 0.1 * cl + spacing, "est {est} vs {cl}");
         } else {
             // Only acceptable when the crossing lies outside the profile.
-            prop_assert!(cl / spacing > 190.0, "estimator gave up too early");
+            assert!(cl / spacing > 190.0, "estimator gave up too early");
         }
     }
 }

@@ -1,0 +1,43 @@
+//! Deterministic regression cases distilled from historical property-test
+//! failures (formerly `.proptest-regressions` seed files).
+//!
+//! Each case pins the exact shrunk input that once broke an assertion, so
+//! the fix stays observable without depending on any particular RNG
+//! replay format.
+
+use rrs::prelude::*;
+
+/// Shrunk from `kernel_energy_equals_variance`: h = 0.1, cl = 3.0,
+/// family = exponential. The Exponential family's K⁻³ spectral tail loses
+/// ≈ 1/(π·cl) of its energy to Nyquist truncation; the assertion bound
+/// must account for that analytically instead of a flat tolerance.
+#[test]
+fn exponential_kernel_energy_at_small_h_short_cl() {
+    let (h, cl) = (0.1, 3.0);
+    let s = SpectrumModel::exponential(SurfaceParams::isotropic(h, cl));
+    let k = ConvolutionKernel::build(&s, KernelSizing::Auto { factor: 10.0, min: 32, max: 256 });
+    let rel = (k.energy() - h * h).abs() / (h * h);
+    let bound = 0.02 + 1.5 / (core::f64::consts::PI * cl);
+    assert!(rel < bound, "relative energy error {rel} exceeds analytic tail bound {bound}");
+}
+
+/// Shrunk from `weight_array_is_non_negative_and_sums_to_variance`:
+/// PowerLaw n = 2.0 with long, strongly anisotropic correlation lengths.
+/// The lattice must span several correlation lengths per axis before the
+/// Riemann sum over the sharp spectral peak converges to h².
+#[test]
+fn power_law_weight_sum_with_long_anisotropic_lengths() {
+    use rrs::spectrum::{weight_array, GridSpec};
+    let p = SurfaceParams::new(1.9844031021393171, 27.287569486112787, 20.4034294982157);
+    let m = SpectrumModel::power_law(p, 2.0);
+    let pick = |cl: f64| ((8.0 * cl).ceil() as usize).next_power_of_two().clamp(32, 512);
+    let spec = GridSpec::unit(pick(p.clx), pick(p.cly));
+    let w = weight_array(&m, spec);
+    assert!(w.as_slice().iter().all(|&v| v >= 0.0));
+    let total: f64 = w.as_slice().iter().sum();
+    let v = p.variance();
+    assert!(
+        total <= 1.2 * v + 1e-12 && total >= 0.6 * v,
+        "Σw = {total}, h² = {v}"
+    );
+}
