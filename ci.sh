@@ -17,8 +17,20 @@ echo "ok: $(echo "$tree" | sort -u | grep -c '^rrs') workspace crates, zero exte
 echo "== build (release, locked, offline) =="
 cargo build --release --locked --offline
 
+echo "== guard: tests must run with debug-assertions and overflow-checks =="
+for flag in 'debug-assertions = true' 'overflow-checks = true'; do
+    if ! grep -A4 '^\[profile\.test\]' Cargo.toml | grep -qF "$flag"; then
+        echo "FAIL: [profile.test] must pin '$flag' in Cargo.toml" >&2
+        exit 1
+    fi
+done
+echo "ok: [profile.test] pins debug-assertions and overflow-checks"
+
 echo "== test (workspace, locked, offline) =="
 cargo test -q --workspace --locked --offline
+
+echo "== fault injection: rrs-io decoders must fail closed =="
+cargo test -q -p rrs-io --features failpoints --locked --offline
 
 echo "== bench smoke: reduced-scale reproduction run =="
 smoke_out="$(mktemp -d)"

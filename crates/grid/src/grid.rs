@@ -1,6 +1,7 @@
 //! The core dense 2-D array type.
 
 use core::fmt;
+use rrs_error::RrsError;
 
 /// A dense, row-major 2-D array with `x` as the fast (contiguous) axis.
 #[derive(Clone, PartialEq)]
@@ -11,13 +12,29 @@ pub struct Grid2<T> {
 }
 
 impl<T> Grid2<T> {
+    /// Validated construction from raw parts: `data.len()` must equal
+    /// `nx · ny` (which itself must not overflow `usize`).
+    pub fn try_from_vec(nx: usize, ny: usize, data: Vec<T>) -> Result<Self, RrsError> {
+        let n = nx.checked_mul(ny).ok_or_else(|| {
+            RrsError::invalid_param("nx*ny", format!("grid shape {nx}x{ny} overflows usize"))
+        })?;
+        if data.len() != n {
+            return Err(RrsError::shape_mismatch(
+                "grid data length must be nx*ny",
+                n,
+                data.len(),
+            ));
+        }
+        Ok(Self { nx, ny, data })
+    }
+
     /// Creates a grid from raw parts.
     ///
     /// # Panics
-    /// Panics if `data.len() != nx * ny`.
+    /// Panics if `data.len() != nx * ny`. Fallible callers use
+    /// [`Grid2::try_from_vec`].
     pub fn from_vec(nx: usize, ny: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), nx * ny, "grid data length must be nx*ny");
-        Self { nx, ny, data }
+        Self::try_from_vec(nx, ny, data).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds a grid by evaluating `f(ix, iy)` at every point, row by row.
@@ -142,33 +159,61 @@ impl<T: Clone> Grid2<T> {
         Self { nx, ny, data: vec![v; nx * ny] }
     }
 
-    /// Copies out the rectangular window starting at `(x0, y0)` with shape
-    /// `(w, h)`.
-    ///
-    /// # Panics
-    /// Panics if the window exceeds the grid bounds.
-    pub fn window(&self, x0: usize, y0: usize, w: usize, h: usize) -> Grid2<T> {
-        assert!(x0 + w <= self.nx && y0 + h <= self.ny, "window out of bounds");
+    /// Fallible [`Grid2::window`]: rejects (with overflow-safe arithmetic)
+    /// any window that does not lie fully inside the grid.
+    pub fn try_window(&self, x0: usize, y0: usize, w: usize, h: usize) -> Result<Grid2<T>, RrsError> {
+        let fits = x0.checked_add(w).is_some_and(|xe| xe <= self.nx)
+            && y0.checked_add(h).is_some_and(|ye| ye <= self.ny);
+        if !fits {
+            return Err(RrsError::shape_mismatch(
+                "window out of bounds",
+                format!("window within {}x{}", self.nx, self.ny),
+                format!("origin ({x0},{y0}) shape {w}x{h}"),
+            ));
+        }
         let mut data = Vec::with_capacity(w * h);
         for iy in y0..y0 + h {
             data.extend_from_slice(&self.data[iy * self.nx + x0..iy * self.nx + x0 + w]);
         }
-        Grid2 { nx: w, ny: h, data }
+        Ok(Grid2 { nx: w, ny: h, data })
+    }
+
+    /// Copies out the rectangular window starting at `(x0, y0)` with shape
+    /// `(w, h)`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the grid bounds. Fallible callers use
+    /// [`Grid2::try_window`].
+    pub fn window(&self, x0: usize, y0: usize, w: usize, h: usize) -> Grid2<T> {
+        self.try_window(x0, y0, w, h).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Grid2::blit`]: rejects a source rectangle that does not
+    /// fit inside this grid at origin `(x0, y0)`.
+    pub fn try_blit(&mut self, x0: usize, y0: usize, src: &Grid2<T>) -> Result<(), RrsError> {
+        let fits = x0.checked_add(src.nx).is_some_and(|xe| xe <= self.nx)
+            && y0.checked_add(src.ny).is_some_and(|ye| ye <= self.ny);
+        if !fits {
+            return Err(RrsError::shape_mismatch(
+                "blit target out of bounds",
+                format!("source within {}x{}", self.nx, self.ny),
+                format!("origin ({x0},{y0}) shape {}x{}", src.nx, src.ny),
+            ));
+        }
+        for iy in 0..src.ny {
+            let dst_off = (y0 + iy) * self.nx + x0;
+            self.data[dst_off..dst_off + src.nx].clone_from_slice(src.row(iy));
+        }
+        Ok(())
     }
 
     /// Writes `src` into this grid with its origin at `(x0, y0)`.
     ///
     /// # Panics
-    /// Panics if `src` does not fit.
+    /// Panics if `src` does not fit. Fallible callers use
+    /// [`Grid2::try_blit`].
     pub fn blit(&mut self, x0: usize, y0: usize, src: &Grid2<T>) {
-        assert!(
-            x0 + src.nx <= self.nx && y0 + src.ny <= self.ny,
-            "blit target out of bounds"
-        );
-        for iy in 0..src.ny {
-            let dst_off = (y0 + iy) * self.nx + x0;
-            self.data[dst_off..dst_off + src.nx].clone_from_slice(src.row(iy));
-        }
+        self.try_blit(x0, y0, src).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns the transposed grid (x and y axes exchanged).
@@ -229,15 +274,28 @@ impl Grid2<f64> {
         self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Adds `other` element-wise.
-    ///
-    /// # Panics
-    /// Panics on shape mismatch.
-    pub fn add_assign(&mut self, other: &Grid2<f64>) {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+    /// Fallible [`Grid2::add_assign`]: the two grids must share a shape.
+    pub fn try_add_assign(&mut self, other: &Grid2<f64>) -> Result<(), RrsError> {
+        if self.shape() != other.shape() {
+            return Err(RrsError::shape_mismatch(
+                "shape mismatch",
+                format!("{}x{}", self.nx, self.ny),
+                format!("{}x{}", other.nx, other.ny),
+            ));
+        }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
+        Ok(())
+    }
+
+    /// Adds `other` element-wise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch. Fallible callers use
+    /// [`Grid2::try_add_assign`].
+    pub fn add_assign(&mut self, other: &Grid2<f64>) {
+        self.try_add_assign(other).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Scales all samples by `k`.

@@ -18,3 +18,4 @@ pub mod profile;
 
 pub use grid::Grid2;
 pub use profile::{extract_column, extract_profile, extract_row, Profile};
+pub use rrs_error::RrsError;

@@ -1,0 +1,81 @@
+//! Properties of the fallible grid operations: out-of-domain inputs are
+//! rejected with typed errors (never a panic, never a bogus grid), valid
+//! inputs round-trip with the panicking wrappers.
+
+use rrs_check::props;
+use rrs_error::ErrorKind;
+use rrs_grid::Grid2;
+
+props! {
+    #![cases = 96]
+
+    fn from_vec_length_check(nx in 0usize..40, ny in 0usize..40, extra in 0usize..5) {
+        let n = nx * ny;
+        let ok = Grid2::try_from_vec(nx, ny, vec![0.0f64; n]).expect("exact length accepted");
+        assert_eq!(ok.shape(), (nx, ny));
+        if extra > 0 {
+            let e = Grid2::try_from_vec(nx, ny, vec![0.0f64; n + extra]).unwrap_err();
+            assert_eq!(e.kind(), ErrorKind::ShapeMismatch, "{e}");
+        }
+    }
+
+    fn window_bounds_are_exact(
+        nx in 1usize..24, ny in 1usize..24,
+        x0 in 0usize..32, y0 in 0usize..32,
+        w in 0usize..32, h in 0usize..32,
+    ) {
+        let g = Grid2::from_fn(nx, ny, |x, y| (x * 131 + y) as f64);
+        let fits = x0 + w <= nx && y0 + h <= ny;
+        match g.try_window(x0, y0, w, h) {
+            Ok(win) => {
+                assert!(fits, "({x0},{y0}) {w}x{h} accepted in {nx}x{ny}");
+                assert_eq!(win.shape(), (w, h));
+                assert_eq!(win, g.window(x0, y0, w, h));
+            }
+            Err(e) => {
+                assert!(!fits, "({x0},{y0}) {w}x{h} rejected in {nx}x{ny}: {e}");
+                assert_eq!(e.kind(), ErrorKind::ShapeMismatch);
+            }
+        }
+    }
+
+    fn blit_bounds_are_exact(
+        nx in 1usize..24, ny in 1usize..24,
+        x0 in 0usize..32, y0 in 0usize..32,
+        sw in 1usize..8, sh in 1usize..8,
+    ) {
+        let src = Grid2::filled(sw, sh, 1.0f64);
+        let mut dst = Grid2::zeros(nx, ny);
+        let fits = x0 + sw <= nx && y0 + sh <= ny;
+        match dst.try_blit(x0, y0, &src) {
+            Ok(()) => {
+                assert!(fits);
+                let placed: f64 = dst.as_slice().iter().sum();
+                assert_eq!(placed, (sw * sh) as f64);
+            }
+            Err(e) => {
+                assert!(!fits, "blit accepted out of bounds: {e}");
+                assert_eq!(e.kind(), ErrorKind::ShapeMismatch);
+                // A rejected blit must leave the target untouched.
+                assert!(dst.as_slice().iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    fn add_assign_requires_same_shape(
+        nx in 1usize..16, ny in 1usize..16, dx in 0usize..3, dy in 0usize..3,
+    ) {
+        let mut a = Grid2::zeros(nx, ny);
+        let b = Grid2::filled(nx + dx, ny + dy, 2.0);
+        match a.try_add_assign(&b) {
+            Ok(()) => {
+                assert_eq!((dx, dy), (0, 0));
+                assert!(a.as_slice().iter().all(|&v| v == 2.0));
+            }
+            Err(e) => {
+                assert!(dx > 0 || dy > 0);
+                assert_eq!(e.kind(), ErrorKind::ShapeMismatch, "{e}");
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! one kernel is active (the bulk of the surface) cost exactly one
 //! homogeneous-kernel dot product.
 
+use rrs_error::RrsError;
 use rrs_grid::Grid2;
 use rrs_spectrum::SpectrumModel;
 use rrs_surface::{ConvolutionKernel, KernelSizing, NoiseField};
@@ -69,23 +70,49 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// Builds the generator with kernel truncation (`epsilon` relative
     /// root-energy loss) — the ablation knob for transition fidelity vs
     /// speed.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`. Fallible callers use
+    /// [`InhomogeneousGenerator::try_new_truncated`].
     pub fn new_truncated(map: M, sizing: KernelSizing, epsilon: f64) -> Self {
+        Self::try_new_truncated(map, sizing, epsilon).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`InhomogeneousGenerator::new_truncated`].
+    pub fn try_new_truncated(
+        map: M,
+        sizing: KernelSizing,
+        epsilon: f64,
+    ) -> Result<Self, RrsError> {
         let kernels = map
             .spectra()
             .iter()
-            .map(|s| ConvolutionKernel::build(s, sizing).truncated(epsilon))
-            .collect();
-        Self::from_kernels(map, kernels)
+            .map(|s| ConvolutionKernel::build(s, sizing).try_truncated(epsilon))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::try_from_kernels(map, kernels)
     }
 
     /// Wraps explicit kernels (must match `map.kernel_count()`).
+    ///
+    /// # Panics
+    /// Panics on a count mismatch or an empty kernel list. Fallible
+    /// callers use [`InhomogeneousGenerator::try_from_kernels`].
     pub fn from_kernels(map: M, kernels: Vec<ConvolutionKernel>) -> Self {
-        assert_eq!(
-            kernels.len(),
-            map.kernel_count(),
-            "kernel count must match the weight map"
-        );
-        assert!(!kernels.is_empty(), "need at least one kernel");
+        Self::try_from_kernels(map, kernels).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`InhomogeneousGenerator::from_kernels`].
+    pub fn try_from_kernels(map: M, kernels: Vec<ConvolutionKernel>) -> Result<Self, RrsError> {
+        if kernels.len() != map.kernel_count() {
+            return Err(RrsError::shape_mismatch(
+                "kernel count must match the weight map",
+                map.kernel_count(),
+                kernels.len(),
+            ));
+        }
+        if kernels.is_empty() {
+            return Err(RrsError::invalid_param("kernels", "need at least one kernel"));
+        }
         let mut reach_left = 0i64;
         let mut reach_right = 0i64;
         let mut reach_down = 0i64;
@@ -98,7 +125,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             reach_down = reach_down.max(oy + h as i64 - 1);
             reach_up = reach_up.max(-oy);
         }
-        Self {
+        Ok(Self {
             map,
             kernels,
             workers: rrs_par::default_workers(),
@@ -106,7 +133,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             reach_right,
             reach_down,
             reach_up,
-        }
+        })
     }
 
     /// Sets the worker count (output is identical for any value).
@@ -127,6 +154,10 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
 
     /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
     /// inhomogeneous surface driven by `noise`. Windows tile seamlessly.
+    ///
+    /// # Panics
+    /// Panics if the window is empty. Fallible callers use
+    /// [`InhomogeneousGenerator::try_generate_window`].
     pub fn generate_window(
         &self,
         noise: &NoiseField,
@@ -135,7 +166,26 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         nx: usize,
         ny: usize,
     ) -> Grid2<f64> {
-        assert!(nx > 0 && ny > 0, "window must be non-empty");
+        self.try_generate_window(noise, x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`InhomogeneousGenerator::generate_window`]: rejects
+    /// empty windows and reports worker panics as
+    /// [`RrsError::WorkerPanicked`] instead of propagating the unwind.
+    pub fn try_generate_window(
+        &self,
+        noise: &NoiseField,
+        x0: i64,
+        y0: i64,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Grid2<f64>, RrsError> {
+        if nx == 0 || ny == 0 {
+            return Err(RrsError::invalid_param(
+                "nx,ny",
+                format!("window must be non-empty, got {nx}x{ny}"),
+            ));
+        }
         let wx0 = x0 - self.reach_left;
         let wy0 = y0 - self.reach_down;
         let ww = nx + (self.reach_left + self.reach_right) as usize;
@@ -144,7 +194,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
 
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        rrs_par::par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
+        rrs_par::try_par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
             let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
             for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                 let iy = iy0 + row_off;
@@ -159,8 +209,8 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                     *slot = acc;
                 }
             }
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Evaluates `(w̃_ki ⊛ X)(n)` for the sample at window-local
@@ -191,6 +241,11 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// Convenience: generate the `[0, nx) × [0, ny)` window from a seed.
     pub fn generate(&self, seed: u64, nx: usize, ny: usize) -> Grid2<f64> {
         self.generate_window(&NoiseField::new(seed), 0, 0, nx, ny)
+    }
+
+    /// Fallible [`InhomogeneousGenerator::generate`].
+    pub fn try_generate(&self, seed: u64, nx: usize, ny: usize) -> Result<Grid2<f64>, RrsError> {
+        self.try_generate_window(&NoiseField::new(seed), 0, 0, nx, ny)
     }
 }
 

@@ -35,3 +35,4 @@ pub use generator::{InhomogeneousGenerator, WeightMap};
 pub use plate::{Plate, PlateLayout, TransitionProfile};
 pub use point::{PointLayout, RepresentativePoint};
 pub use region::Region;
+pub use rrs_error::RrsError;

@@ -9,6 +9,7 @@
 
 use crate::generator::WeightMap;
 use crate::region::Region;
+use rrs_error::RrsError;
 use rrs_spectrum::SpectrumModel;
 
 /// Shape of the membership ramp across the transition strip.
@@ -48,17 +49,31 @@ impl PlateLayout {
     ///
     /// # Panics
     /// Panics if no plates are given and there is no background, or if
-    /// `transition` is not positive and finite.
+    /// `transition` is not positive and finite. Fallible callers use
+    /// [`PlateLayout::try_new`].
     pub fn new(plates: Vec<Plate>, background: Option<SpectrumModel>, transition: f64) -> Self {
-        assert!(
-            !plates.is_empty() || background.is_some(),
-            "a layout needs at least one plate or a background"
-        );
-        assert!(
-            transition.is_finite() && transition > 0.0,
-            "transition width must be positive, got {transition}"
-        );
-        Self { plates, background, transition, profile: TransitionProfile::Linear }
+        Self::try_new(plates, background, transition).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PlateLayout::new`].
+    pub fn try_new(
+        plates: Vec<Plate>,
+        background: Option<SpectrumModel>,
+        transition: f64,
+    ) -> Result<Self, RrsError> {
+        if plates.is_empty() && background.is_none() {
+            return Err(RrsError::invalid_param(
+                "plates",
+                "a layout needs at least one plate or a background",
+            ));
+        }
+        if !(transition.is_finite() && transition > 0.0) {
+            return Err(RrsError::invalid_param(
+                "transition",
+                format!("transition width must be positive, got {transition}"),
+            ));
+        }
+        Ok(Self { plates, background, transition, profile: TransitionProfile::Linear })
     }
 
     /// Selects the transition ramp shape (the paper uses linear).

@@ -19,6 +19,7 @@
 //! `Σ g = 1` with the nearest point always weighted at least `1/2`.
 
 use crate::generator::WeightMap;
+use rrs_error::RrsError;
 use rrs_spectrum::SpectrumModel;
 
 /// A representative point with its spectrum.
@@ -45,20 +46,41 @@ impl PointLayout {
     ///
     /// # Panics
     /// Panics if no points are given, if two points coincide, or if the
-    /// half-width `T` is not positive and finite.
+    /// half-width `T` is not positive and finite. Fallible callers use
+    /// [`PointLayout::try_new`].
     pub fn new(points: Vec<RepresentativePoint>, half_width: f64) -> Self {
-        assert!(!points.is_empty(), "point layout needs at least one point");
-        assert!(
-            half_width.is_finite() && half_width > 0.0,
-            "transition half-width must be positive, got {half_width}"
-        );
+        Self::try_new(points, half_width).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PointLayout::new`].
+    pub fn try_new(
+        points: Vec<RepresentativePoint>,
+        half_width: f64,
+    ) -> Result<Self, RrsError> {
+        if points.is_empty() {
+            return Err(RrsError::invalid_param(
+                "points",
+                "point layout needs at least one point",
+            ));
+        }
+        if !(half_width.is_finite() && half_width > 0.0) {
+            return Err(RrsError::invalid_param(
+                "half_width",
+                format!("transition half-width must be positive, got {half_width}"),
+            ));
+        }
         for i in 0..points.len() {
             for j in i + 1..points.len() {
                 let d = (points[i].x - points[j].x).hypot(points[i].y - points[j].y);
-                assert!(d > 0.0, "representative points {i} and {j} coincide");
+                if !(d > 0.0) {
+                    return Err(RrsError::invalid_param(
+                        "points",
+                        format!("representative points {i} and {j} coincide"),
+                    ));
+                }
             }
         }
-        Self { points, half_width }
+        Ok(Self { points, half_width })
     }
 
     /// The representative points, in kernel-index order.

@@ -1,0 +1,134 @@
+//! Crash-safe checkpoints for streaming generation.
+//!
+//! A sequential strip stream (`rrs-surface`'s `StripGenerator`) is fully
+//! determined by `(seed, height, cursor)`: the noise lattice is a pure
+//! function of the seed, so a generator rebuilt from the same spectrum and
+//! seed, `seek`ed to the saved cursor, continues the *identical* surface.
+//! This module pins that resumable state to a tiny self-validating record:
+//!
+//! ```text
+//! magic   "RRSCKPT1"  (8 bytes)
+//! seed    u64
+//! height  u64   — transverse extent ny of the stream
+//! cursor  i64   — x position of the next strip
+//! crc     u64   — FNV-1a over the 24 state bytes
+//! ```
+//!
+//! All fields little-endian; 40 bytes total. The checksum makes a torn or
+//! corrupted checkpoint detectable, so a crashed run falls back to the
+//! previous good checkpoint instead of silently resuming from garbage.
+
+use crate::snapshot::{fnv1a, read_u64_le};
+use rrs_error::RrsError;
+use std::io::{Read, Write};
+
+/// The 8-byte magic prefix identifying a stream checkpoint (format v1).
+pub const MAGIC: &[u8; 8] = b"RRSCKPT1";
+
+/// Byte length of a serialised checkpoint.
+pub const CHECKPOINT_LEN: usize = 40;
+
+/// The complete resumable state of a sequential strip stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamCheckpoint {
+    /// Seed of the backing noise lattice.
+    pub seed: u64,
+    /// Transverse extent `ny` of the stream.
+    pub height: u64,
+    /// `x` position of the next strip to generate.
+    pub cursor: i64,
+}
+
+/// Serialises a checkpoint. Write failures surface as [`RrsError::Io`].
+pub fn write_checkpoint<W: Write>(mut w: W, cp: &StreamCheckpoint) -> Result<(), RrsError> {
+    let mut buf = [0u8; CHECKPOINT_LEN];
+    buf[..8].copy_from_slice(MAGIC);
+    buf[8..16].copy_from_slice(&cp.seed.to_le_bytes());
+    buf[16..24].copy_from_slice(&cp.height.to_le_bytes());
+    buf[24..32].copy_from_slice(&cp.cursor.to_le_bytes());
+    let crc = fnv1a(&buf[8..32]);
+    buf[32..40].copy_from_slice(&crc.to_le_bytes());
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialises a checkpoint, verifying length, magic and checksum.
+/// Corruption surfaces as [`RrsError::CorruptSnapshot`].
+pub fn read_checkpoint<R: Read>(mut r: R) -> Result<StreamCheckpoint, RrsError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let bad = |msg: &str| RrsError::corrupt_snapshot(msg);
+    if raw.len() != CHECKPOINT_LEN {
+        return Err(bad("checkpoint length is wrong"));
+    }
+    if &raw[..8] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let crc_expect = fnv1a(&raw[8..32]);
+    if read_u64_le(&raw, 32) != crc_expect {
+        return Err(bad("checksum mismatch"));
+    }
+    Ok(StreamCheckpoint {
+        seed: read_u64_le(&raw, 8),
+        height: read_u64_le(&raw, 16),
+        cursor: i64::from_le_bytes(raw[24..32].try_into().expect("8-byte slice")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamCheckpoint {
+        StreamCheckpoint { seed: 0xDEAD_BEEF_1234_5678, height: 96, cursor: -417 }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &sample()).unwrap();
+        assert_eq!(buf.len(), CHECKPOINT_LEN);
+        assert_eq!(read_checkpoint(buf.as_slice()).unwrap(), sample());
+    }
+
+    #[test]
+    fn negative_cursor_round_trips() {
+        let cp = StreamCheckpoint { seed: 1, height: 1, cursor: i64::MIN };
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &cp).unwrap();
+        assert_eq!(read_checkpoint(buf.as_slice()).unwrap(), cp);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let mut clean = Vec::new();
+        write_checkpoint(&mut clean, &sample()).unwrap();
+        for bit in 0..clean.len() * 8 {
+            let mut buf = clean.clone();
+            buf[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                read_checkpoint(buf.as_slice()).is_err(),
+                "bit {bit} flip went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &sample()).unwrap();
+        for keep in 0..buf.len() {
+            let err = read_checkpoint(&buf[..keep]).unwrap_err();
+            assert!(err.to_string().contains("corrupt snapshot"), "keep={keep}: {err}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        let err = read_checkpoint(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+}

@@ -1,11 +1,20 @@
 //! CSV export/import of height fields.
 
+use rrs_error::{ensure_all_finite, RrsError};
 use rrs_grid::Grid2;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 /// Writes the surface as a plain matrix CSV: one row per `y`, columns are
-/// `x`, full `f64` precision.
+/// `x`, full `f64` precision. Non-finite heights are rejected.
 pub fn write_matrix_csv<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
+    try_write_matrix_csv(w, grid).map_err(Into::into)
+}
+
+/// Fallible [`write_matrix_csv`]: a NaN/∞ height is a generation bug, not
+/// a number a downstream CSV consumer should discover — rejected as
+/// [`RrsError::NonFinite`].
+pub fn try_write_matrix_csv<W: Write>(w: W, grid: &Grid2<f64>) -> Result<(), RrsError> {
+    ensure_all_finite("csv heights", grid.as_slice())?;
     let mut w = BufWriter::new(w);
     for iy in 0..grid.ny() {
         let row = grid.row(iy);
@@ -17,7 +26,8 @@ pub fn write_matrix_csv<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
         }
         w.write_all(b"\n")?;
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads a matrix CSV produced by [`write_matrix_csv`] (or any rectangular
@@ -59,8 +69,15 @@ pub fn read_matrix_csv<R: Read>(r: R) -> io::Result<Grid2<f64>> {
 }
 
 /// Writes the surface in long `x,y,height` format with a header row —
-/// convenient for dataframe tooling.
+/// convenient for dataframe tooling. Non-finite heights are rejected.
 pub fn write_xyz_csv<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
+    try_write_xyz_csv(w, grid).map_err(Into::into)
+}
+
+/// Fallible [`write_xyz_csv`]: non-finite heights are rejected as
+/// [`RrsError::NonFinite`].
+pub fn try_write_xyz_csv<W: Write>(w: W, grid: &Grid2<f64>) -> Result<(), RrsError> {
+    ensure_all_finite("csv heights", grid.as_slice())?;
     let mut w = BufWriter::new(w);
     w.write_all(b"x,y,height\n")?;
     for iy in 0..grid.ny() {
@@ -68,7 +85,8 @@ pub fn write_xyz_csv<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
             writeln!(w, "{ix},{iy},{:?}", *grid.get(ix, iy))?;
         }
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -128,5 +146,21 @@ mod tests {
         let g = read_matrix_csv("1,2\n\n3,4\n".as_bytes()).unwrap();
         assert_eq!(g.shape(), (2, 2));
         assert_eq!(*g.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn non_finite_heights_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let g = Grid2::from_vec(2, 1, vec![bad, 1.0]);
+            let e = try_write_matrix_csv(Vec::new(), &g).unwrap_err();
+            assert_eq!(e.kind(), rrs_error::ErrorKind::NonFinite, "{bad}: {e}");
+            assert!(e.to_string().contains("index 0"), "{e}");
+            let e = try_write_xyz_csv(Vec::new(), &g).unwrap_err();
+            assert_eq!(e.kind(), rrs_error::ErrorKind::NonFinite, "{bad}: {e}");
+            assert_eq!(
+                write_matrix_csv(Vec::new(), &g).unwrap_err().kind(),
+                io::ErrorKind::InvalidData
+            );
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Fault injection for I/O robustness testing (feature `failpoints`).
+//!
+//! Deterministic failing adapters and byte corruptors used by the
+//! robustness suite to prove that every decoder in this crate fails
+//! *closed*: corruption is always flagged as an error, never decoded into
+//! unflagged garbage, and never a panic. Compiled only with
+//! `--features failpoints` so production builds carry no test scaffolding.
+
+use std::io::{self, Read, Write};
+
+/// A writer that fails with [`io::ErrorKind::WriteZero`] once `budget`
+/// bytes have been accepted. Bytes up to the budget are forwarded to the
+/// inner writer, so the inner buffer afterwards looks exactly like a torn
+/// write (e.g. a full disk or a killed process).
+pub struct FailingWriter<W> {
+    inner: W,
+    budget: usize,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Wraps `inner`, allowing exactly `budget` bytes through.
+    pub fn new(inner: W, budget: usize) -> Self {
+        Self { inner, budget }
+    }
+
+    /// The inner writer (holding the bytes written before the fault).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected write fault: budget exhausted",
+            ));
+        }
+        let n = buf.len().min(self.budget);
+        let written = self.inner.write(&buf[..n])?;
+        self.budget -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that fails with [`io::ErrorKind::UnexpectedEof`] once `budget`
+/// bytes have been served from the inner reader.
+pub struct FailingReader<R> {
+    inner: R,
+    budget: usize,
+}
+
+impl<R: Read> FailingReader<R> {
+    /// Wraps `inner`, serving exactly `budget` bytes before erroring.
+    pub fn new(inner: R, budget: usize) -> Self {
+        Self { inner, budget }
+    }
+}
+
+impl<R: Read> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "injected read fault: budget exhausted",
+            ));
+        }
+        let n = buf.len().min(self.budget);
+        let read = self.inner.read(&mut buf[..n])?;
+        self.budget -= read;
+        Ok(read)
+    }
+}
+
+/// Flips bit `bit` (0 = LSB of byte 0) of `buf`.
+///
+/// # Panics
+/// Panics if `bit >= buf.len() * 8` — a corruptor aimed outside the buffer
+/// is a test bug, not a runtime condition.
+pub fn flip_bit(buf: &mut [u8], bit: usize) {
+    assert!(bit < buf.len() * 8, "bit {bit} outside buffer of {} bytes", buf.len());
+    buf[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Returns `buf` truncated to its first `keep` bytes (clamped).
+pub fn truncated(buf: &[u8], keep: usize) -> Vec<u8> {
+    buf[..keep.min(buf.len())].to_vec()
+}
+
+/// Overwrites the 8-byte magic prefix with `XXXXXXXX` (no-op on shorter
+/// buffers).
+pub fn stomp_magic(buf: &mut [u8]) {
+    let n = buf.len().min(8);
+    buf[..n].fill(b'X');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failing_writer_respects_budget() {
+        let mut fw = FailingWriter::new(Vec::new(), 10);
+        assert_eq!(fw.write(&[0u8; 6]).unwrap(), 6);
+        assert_eq!(fw.write(&[0u8; 6]).unwrap(), 4); // clipped to the budget
+        let err = fw.write(&[0u8; 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(fw.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn failing_reader_respects_budget() {
+        let data = [7u8; 16];
+        let mut fr = FailingReader::new(&data[..], 5);
+        let mut out = [0u8; 16];
+        assert_eq!(fr.read(&mut out).unwrap(), 5);
+        assert_eq!(fr.read(&mut out).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corruptors_do_what_they_say() {
+        let mut buf = vec![0u8; 4];
+        flip_bit(&mut buf, 9);
+        assert_eq!(buf, vec![0, 2, 0, 0]);
+        assert_eq!(truncated(&buf, 2), vec![0, 2]);
+        assert_eq!(truncated(&buf, 99), buf);
+        let mut m = b"RRSSNAP1tail".to_vec();
+        stomp_magic(&mut m);
+        assert_eq!(&m[..8], b"XXXXXXXX");
+        assert_eq!(&m[8..], b"tail");
+    }
+}

@@ -5,6 +5,7 @@
 //! with `y` increasing upward (image row 0 is the maximum `y`), matching
 //! the mathematical orientation of the paper's figures.
 
+use rrs_error::{ensure_all_finite, RrsError};
 use rrs_grid::Grid2;
 use std::io::{self, BufWriter, Write};
 
@@ -21,9 +22,29 @@ fn normalise(grid: &Grid2<f64>) -> (f64, f64) {
     }
 }
 
+fn check_renderable(grid: &Grid2<f64>, context: &'static str) -> Result<(), RrsError> {
+    if grid.is_empty() {
+        return Err(RrsError::invalid_param("grid", "cannot render an empty grid"));
+    }
+    // A NaN/∞ height would silently clamp to an arbitrary pixel — reject
+    // instead of rendering a lie.
+    ensure_all_finite(context, grid.as_slice())
+}
+
 /// Writes an 8-bit binary PGM (P5) grayscale heightmap.
+///
+/// # Panics
+/// Panics on an empty grid. Fallible callers (and callers that may hold
+/// non-finite heights, which are rejected) use [`try_write_pgm`].
 pub fn write_pgm<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
     assert!(!grid.is_empty(), "cannot render an empty grid");
+    try_write_pgm(w, grid).map_err(Into::into)
+}
+
+/// Fallible [`write_pgm`]: rejects empty grids ([`RrsError::InvalidParam`])
+/// and non-finite heights ([`RrsError::NonFinite`]).
+pub fn try_write_pgm<W: Write>(w: W, grid: &Grid2<f64>) -> Result<(), RrsError> {
+    check_renderable(grid, "pgm heights")?;
     let mut w = BufWriter::new(w);
     let (lo, hi) = normalise(grid);
     write!(w, "P5\n{} {}\n255\n", grid.nx(), grid.ny())?;
@@ -35,7 +56,8 @@ pub fn write_pgm<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
             .collect();
         w.write_all(&bytes)?;
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// A compact diverging-ish terrain ramp: deep blue → teal → green →
@@ -67,8 +89,19 @@ fn terrain_color(t: f64) -> [u8; 3] {
 }
 
 /// Writes an 8-bit binary PPM (P6) false-colour heightmap.
+///
+/// # Panics
+/// Panics on an empty grid. Fallible callers (and callers that may hold
+/// non-finite heights, which are rejected) use [`try_write_ppm`].
 pub fn write_ppm<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
     assert!(!grid.is_empty(), "cannot render an empty grid");
+    try_write_ppm(w, grid).map_err(Into::into)
+}
+
+/// Fallible [`write_ppm`]: rejects empty grids ([`RrsError::InvalidParam`])
+/// and non-finite heights ([`RrsError::NonFinite`]).
+pub fn try_write_ppm<W: Write>(w: W, grid: &Grid2<f64>) -> Result<(), RrsError> {
+    check_renderable(grid, "ppm heights")?;
     let mut w = BufWriter::new(w);
     let (lo, hi) = normalise(grid);
     write!(w, "P6\n{} {}\n255\n", grid.nx(), grid.ny())?;
@@ -79,7 +112,8 @@ pub fn write_ppm<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
         }
         w.write_all(&bytes)?;
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -152,5 +186,21 @@ mod tests {
     #[should_panic(expected = "empty grid")]
     fn empty_grid_rejected() {
         write_pgm(Vec::new(), &Grid2::zeros(0, 0)).unwrap();
+    }
+
+    #[test]
+    fn non_finite_heights_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let g = Grid2::from_vec(2, 1, vec![0.0, bad]);
+            let e = try_write_pgm(Vec::new(), &g).unwrap_err();
+            assert_eq!(e.kind(), rrs_error::ErrorKind::NonFinite, "{bad}: {e}");
+            assert!(e.to_string().contains("index 1"), "{e}");
+            let e = try_write_ppm(Vec::new(), &g).unwrap_err();
+            assert_eq!(e.kind(), rrs_error::ErrorKind::NonFinite, "{bad}: {e}");
+            // The io::Result wrappers surface the same failure as
+            // InvalidData instead of silently clamping the pixel.
+            let e = write_pgm(Vec::new(), &g).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        }
     }
 }

@@ -9,16 +9,33 @@
 //! * [`image`] — 8-bit PGM heightmaps and PPM renders with a perceptual
 //!   colour ramp (enough to eyeball Figures 1–4 without a plotting stack);
 //! * [`snapshot`] — an exact binary round-trip format (magic + shape +
-//!   little-endian `f64`s + FNV-1a checksum), hand-rolled on `std` alone.
+//!   little-endian `f64`s + FNV-1a checksum), hand-rolled on `std` alone;
+//! * [`checkpoint`] — the 40-byte crash-safe resume record for streaming
+//!   strip generation.
+//!
+//! Every writer/reader has a `try_*` twin returning
+//! `Result<_, `[`RrsError`]`>`; the plain variants keep their historical
+//! `io::Result` signatures by converting through
+//! `From<RrsError> for io::Error`. Decoders fail *closed*: a corrupt or
+//! hostile input is always an error, never a panic and never unflagged
+//! garbage (the `failpoints` feature compiles the [`fault`] harness that
+//! proves this).
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod csv;
+#[cfg(feature = "failpoints")]
+pub mod fault;
 pub mod gnuplot;
 pub mod image;
 pub mod snapshot;
 
-pub use csv::{read_matrix_csv, write_matrix_csv, write_xyz_csv};
+pub use checkpoint::{read_checkpoint, write_checkpoint, StreamCheckpoint};
+pub use csv::{
+    read_matrix_csv, try_write_matrix_csv, try_write_xyz_csv, write_matrix_csv, write_xyz_csv,
+};
 pub use gnuplot::write_gnuplot_matrix;
-pub use image::{write_pgm, write_ppm};
-pub use snapshot::{read_snapshot, write_snapshot};
+pub use image::{try_write_pgm, try_write_ppm, write_pgm, write_ppm};
+pub use rrs_error::RrsError;
+pub use snapshot::{read_snapshot, try_read_snapshot, try_write_snapshot, write_snapshot};

@@ -15,6 +15,7 @@
 //! `to_le_bytes`/`from_le_bytes`, so the format is pinned in this file
 //! rather than behind a third-party serialisation layer.
 
+use rrs_error::RrsError;
 use rrs_grid::Grid2;
 use std::io::{self, Read, Write};
 
@@ -24,7 +25,7 @@ pub const MAGIC: &[u8; 8] = b"RRSSNAP1";
 /// Byte length of the fixed header: magic + `nx` + `ny`.
 pub const HEADER_LEN: usize = 24;
 
-fn fnv1a(data: &[u8]) -> u64 {
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         hash ^= b as u64;
@@ -34,7 +35,13 @@ fn fnv1a(data: &[u8]) -> u64 {
 }
 
 /// Serialises a grid to the snapshot format.
-pub fn write_snapshot<W: Write>(mut w: W, grid: &Grid2<f64>) -> io::Result<()> {
+pub fn write_snapshot<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
+    try_write_snapshot(w, grid).map_err(Into::into)
+}
+
+/// Fallible [`write_snapshot`]: write failures surface as
+/// [`RrsError::Io`].
+pub fn try_write_snapshot<W: Write>(mut w: W, grid: &Grid2<f64>) -> Result<(), RrsError> {
     let mut buf = Vec::with_capacity(HEADER_LEN + grid.len() * 8 + 8);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&(grid.nx() as u64).to_le_bytes());
@@ -45,18 +52,29 @@ pub fn write_snapshot<W: Write>(mut w: W, grid: &Grid2<f64>) -> io::Result<()> {
     }
     let crc = fnv1a(&buf[data_start..]);
     buf.extend_from_slice(&crc.to_le_bytes());
-    w.write_all(&buf)
+    w.write_all(&buf)?;
+    Ok(())
 }
 
-fn read_u64_le(buf: &[u8], at: usize) -> u64 {
+pub(crate) fn read_u64_le(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
 }
 
 /// Deserialises a snapshot, verifying magic, shape and checksum.
-pub fn read_snapshot<R: Read>(mut r: R) -> io::Result<Grid2<f64>> {
+pub fn read_snapshot<R: Read>(r: R) -> io::Result<Grid2<f64>> {
+    try_read_snapshot(r).map_err(Into::into)
+}
+
+/// Fallible [`read_snapshot`]: corruption surfaces as
+/// [`RrsError::CorruptSnapshot`], read failures as [`RrsError::Io`].
+///
+/// The declared shape is validated against the remaining payload with
+/// overflow-checked arithmetic *before* any data allocation, so a hostile
+/// header can neither trigger a huge allocation nor a slice panic.
+pub fn try_read_snapshot<R: Read>(mut r: R) -> Result<Grid2<f64>, RrsError> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let bad = |msg: &str| RrsError::corrupt_snapshot(msg);
     if raw.len() < HEADER_LEN {
         return Err(bad("snapshot too short"));
     }
@@ -65,9 +83,15 @@ pub fn read_snapshot<R: Read>(mut r: R) -> io::Result<Grid2<f64>> {
     }
     let nx = read_u64_le(&raw, 8) as usize;
     let ny = read_u64_le(&raw, 16) as usize;
-    let n = nx.checked_mul(ny).ok_or_else(|| bad("shape overflow"))?;
     let payload = &raw[HEADER_LEN..];
-    if payload.len() != n * 8 + 8 {
+    // Both the element count and the byte length are overflow-checked, and
+    // checked against what was actually read before the data Vec exists.
+    let n = nx.checked_mul(ny).ok_or_else(|| bad("shape overflow"))?;
+    let expect_len = n
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(8))
+        .ok_or_else(|| bad("shape overflow"))?;
+    if payload.len() != expect_len {
         return Err(bad("snapshot length does not match shape"));
     }
     let data_bytes = &payload[..n * 8];
@@ -80,7 +104,7 @@ pub fn read_snapshot<R: Read>(mut r: R) -> io::Result<Grid2<f64>> {
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
-    Ok(Grid2::from_vec(nx, ny, data))
+    Grid2::try_from_vec(nx, ny, data)
 }
 
 #[cfg(test)]
@@ -146,5 +170,30 @@ mod tests {
         buf[0] = b'X';
         let err = read_snapshot(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn hostile_header_cannot_force_huge_allocation() {
+        // A tiny valid snapshot whose header claims an absurd shape must
+        // be rejected by the length check before any data allocation —
+        // including shapes where nx·ny or nx·ny·8 overflow usize.
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &Grid2::zeros(2, 2)).unwrap();
+        for (nx, ny) in [
+            (u64::MAX, u64::MAX),        // nx·ny overflows
+            (u64::MAX / 4, 2),           // nx·ny fits, ·8 overflows
+            (1 << 40, 1),                // huge but representable
+            (3, 3),                      // plausible but wrong
+        ] {
+            let mut hostile = buf.clone();
+            hostile[8..16].copy_from_slice(&nx.to_le_bytes());
+            hostile[16..24].copy_from_slice(&ny.to_le_bytes());
+            let err = try_read_snapshot(hostile.as_slice()).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                rrs_error::ErrorKind::CorruptSnapshot,
+                "nx={nx} ny={ny}: {err}"
+            );
+        }
     }
 }

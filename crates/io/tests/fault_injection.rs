@@ -1,0 +1,125 @@
+//! Fault-injected decoding properties (feature `failpoints`).
+//!
+//! The contract under test: every decoder in `rrs-io` fails *closed*.
+//! Whatever a fault does to the byte stream — truncation at any offset,
+//! any single bit flip, a stomped magic, a torn write — decoding either
+//! returns the original grid bit-exactly or returns an error. Never a
+//! panic, never unflagged garbage.
+#![cfg(feature = "failpoints")]
+
+use rrs_check::{props, CaseRng};
+use rrs_error::ErrorKind;
+use rrs_grid::Grid2;
+use rrs_io::checkpoint::{self, StreamCheckpoint};
+use rrs_io::fault::{flip_bit, stomp_magic, truncated, FailingReader, FailingWriter};
+use rrs_io::{try_read_snapshot, try_write_snapshot};
+
+fn sample_grid(rng: &mut CaseRng, nx: usize, ny: usize) -> Grid2<f64> {
+    Grid2::from_fn(nx, ny, |_, _| rng.next_f64() * 2.0 - 1.0)
+}
+
+fn encode(grid: &Grid2<f64>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    try_write_snapshot(&mut buf, grid).unwrap();
+    buf
+}
+
+props! {
+    #![cases = 64]
+
+    fn truncation_at_any_offset_is_flagged(
+        nx in 1usize..10, ny in 1usize..10, frac in 0.0f64..1.0,
+        grid_seed in rrs_check::any::<u64>(),
+    ) {
+        let grid = sample_grid(&mut CaseRng::new(grid_seed), nx, ny);
+        let clean = encode(&grid);
+        let keep = (frac * clean.len() as f64) as usize;
+        rrs_check::assume!(keep < clean.len());
+        let err = try_read_snapshot(truncated(&clean, keep).as_slice())
+            .expect_err("truncated snapshot must not decode");
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot, "keep={keep}: {err}");
+    }
+
+    fn any_single_bit_flip_is_flagged_or_harmless(
+        nx in 1usize..8, ny in 1usize..8, bit_pick in rrs_check::any::<u64>(),
+        grid_seed in rrs_check::any::<u64>(),
+    ) {
+        let grid = sample_grid(&mut CaseRng::new(grid_seed), nx, ny);
+        let mut buf = encode(&grid);
+        let bit = (bit_pick % (buf.len() as u64 * 8)) as usize;
+        flip_bit(&mut buf, bit);
+        // Magic, shape, data and crc are all covered: a flip anywhere must
+        // surface as an error — there is no harmless bit in this format.
+        let err = try_read_snapshot(buf.as_slice())
+            .expect_err("bit flip must not decode silently");
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot, "bit {bit}: {err}");
+    }
+
+    fn stomped_magic_and_stomped_crc_are_flagged(
+        nx in 1usize..8, ny in 1usize..8, grid_seed in rrs_check::any::<u64>(),
+    ) {
+        let grid = sample_grid(&mut CaseRng::new(grid_seed), nx, ny);
+        let clean = encode(&grid);
+
+        let mut bad_magic = clean.clone();
+        stomp_magic(&mut bad_magic);
+        let err = try_read_snapshot(bad_magic.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        let mut bad_crc = clean.clone();
+        let n = bad_crc.len();
+        for b in &mut bad_crc[n - 8..] {
+            *b = !*b;
+        }
+        let err = try_read_snapshot(bad_crc.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // And the clean bytes still round-trip, so the errors above are
+        // the corruption's doing, not the codec's.
+        assert_eq!(try_read_snapshot(clean.as_slice()).unwrap(), grid);
+    }
+
+    fn torn_write_is_flagged_on_read(
+        nx in 1usize..8, ny in 1usize..8, budget_pick in rrs_check::any::<u64>(),
+        grid_seed in rrs_check::any::<u64>(),
+    ) {
+        let grid = sample_grid(&mut CaseRng::new(grid_seed), nx, ny);
+        let full_len = encode(&grid).len();
+        let budget = (budget_pick % full_len as u64) as usize;
+        // The writer dies mid-stream: the caller sees an Io error...
+        let mut fw = FailingWriter::new(Vec::new(), budget);
+        let err = try_write_snapshot(&mut fw, &grid).expect_err("torn write must error");
+        assert_eq!(err.kind(), ErrorKind::Io, "budget={budget}: {err}");
+        // ...and the torn bytes it left behind never decode silently.
+        let torn = fw.into_inner();
+        assert_eq!(torn.len(), budget);
+        let err = try_read_snapshot(torn.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot, "budget={budget}: {err}");
+    }
+
+    fn failing_reader_surfaces_as_io(
+        nx in 1usize..8, ny in 1usize..8, grid_seed in rrs_check::any::<u64>(),
+        budget_pick in rrs_check::any::<u64>(),
+    ) {
+        let grid = sample_grid(&mut CaseRng::new(grid_seed), nx, ny);
+        let clean = encode(&grid);
+        let budget = (budget_pick % clean.len() as u64) as usize;
+        let err = try_read_snapshot(FailingReader::new(clean.as_slice(), budget))
+            .expect_err("failing reader must error");
+        assert_eq!(err.kind(), ErrorKind::Io, "budget={budget}: {err}");
+    }
+
+    fn checkpoint_corruption_is_flagged(
+        seed in rrs_check::any::<u64>(), height in 1u64..1000,
+        cursor_bits in rrs_check::any::<u64>(), bit_pick in rrs_check::any::<u64>(),
+    ) {
+        let cp = StreamCheckpoint { seed, height, cursor: cursor_bits as i64 };
+        let mut buf = Vec::new();
+        checkpoint::write_checkpoint(&mut buf, &cp).unwrap();
+        let bit = (bit_pick % (buf.len() as u64 * 8)) as usize;
+        flip_bit(&mut buf, bit);
+        let err = checkpoint::read_checkpoint(buf.as_slice())
+            .expect_err("corrupt checkpoint must not decode");
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot, "bit {bit}: {err}");
+    }
+}

@@ -16,10 +16,26 @@
 //! Determinism note: all primitives partition work *statically*; outputs
 //! never depend on scheduling, only on the partition, which itself depends
 //! only on `(len, workers)`.
+//!
+//! # Panic containment
+//!
+//! The plain primitives propagate worker panics (the scope re-raises the
+//! first one at join). Production callers that must not die with a worker
+//! use the fallible forms instead:
+//!
+//! * [`try_par_chunks_mut`] / [`try_par_row_chunks_mut`] — run every band
+//!   under `catch_unwind` and report the lowest-indexed failed band as a
+//!   structured [`RrsError::WorkerPanicked`] carrying the panic payload;
+//! * [`par_row_chunks_mut_with_fallback`] — additionally retries the whole
+//!   partition *serially* after a parallel-band panic. The retry visits
+//!   the same static bands in order, so a successful retry is bit-exactly
+//!   the surface an all-parallel (or all-serial) run would have produced.
 
 #![warn(missing_docs)]
 
+use rrs_error::RrsError;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub use std::thread::Scope;
 
@@ -133,6 +149,162 @@ where
             s.spawn(move || f(i * rows_per_band, band));
         }
     });
+}
+
+/// Runs `f(band, chunk)` under `catch_unwind`, mapping a panic to a
+/// structured [`RrsError::WorkerPanicked`] naming the band.
+fn run_caught<T, F>(band: usize, chunk: &mut [T], f: &F) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| f(band, chunk)))
+        .map_err(|p| RrsError::worker_panicked(band, p.as_ref()))
+}
+
+/// Panic-contained [`par_chunks_mut`]: every chunk closure runs under
+/// `catch_unwind`; if any panics, the lowest-indexed failed band is
+/// reported as [`RrsError::WorkerPanicked`] with its payload. All bands
+/// still run to completion (or their own panic) before the call returns,
+/// so the slice is never left with a band silently skipped.
+pub fn try_par_chunks_mut<T, F>(data: &mut [T], workers: usize, f: F) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let workers = workers.max(1).min(n);
+    let chunk = n.div_ceil(workers);
+    if workers == 1 {
+        return run_caught(0, data, &f);
+    }
+    let mut first: Option<RrsError> = None;
+    scope(|s| {
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, c)| {
+                let f = &f;
+                s.spawn(move || run_caught(i, c, f))
+            })
+            .collect();
+        // Handles join in band order, so the first error seen is the
+        // lowest-indexed failed band.
+        for h in handles {
+            let r = h.join().expect("worker closures are panic-contained");
+            if let (Err(e), None) = (r, first.as_ref()) {
+                first = Some(e);
+            }
+        }
+    });
+    first.map_or(Ok(()), Err)
+}
+
+/// Panic-contained [`par_row_chunks_mut`]: validates the row geometry as a
+/// [`RrsError::ShapeMismatch`] instead of panicking, and reports a
+/// panicking band closure as [`RrsError::WorkerPanicked`].
+pub fn try_par_row_chunks_mut<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    workers: usize,
+    f: F,
+) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if row_len == 0 {
+        return Err(RrsError::invalid_param("row_len", "row_len must be positive, got 0"));
+    }
+    if data.len() % row_len != 0 {
+        return Err(RrsError::shape_mismatch(
+            "buffer is not whole rows",
+            format!("a multiple of {row_len}"),
+            data.len(),
+        ));
+    }
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        return Ok(());
+    }
+    let workers = workers.max(1).min(rows);
+    let rows_per_band = rows.div_ceil(workers);
+    if workers == 1 {
+        return run_caught(0, data, &f).map_err(rename_band_to_row(0));
+    }
+    let mut first: Option<RrsError> = None;
+    scope(|s| {
+        let handles: Vec<_> = data
+            .chunks_mut(rows_per_band * row_len)
+            .enumerate()
+            .map(|(i, band)| {
+                let f = &f;
+                s.spawn(move || {
+                    run_caught(i * rows_per_band, band, f).map_err(rename_band_to_row(i))
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().expect("worker closures are panic-contained");
+            if let (Err(e), None) = (r, first.as_ref()) {
+                first = Some(e);
+            }
+        }
+    });
+    first.map_or(Ok(()), Err)
+}
+
+/// `run_caught` reports the chunk's *starting row* as the band (that is
+/// what the closure receives); re-tag with the band ordinal, which is the
+/// stable name across worker counts of the retry path.
+fn rename_band_to_row(band: usize) -> impl Fn(RrsError) -> RrsError {
+    move |e| match e {
+        RrsError::WorkerPanicked { payload, .. } => RrsError::WorkerPanicked { band, payload },
+        other => other,
+    }
+}
+
+/// [`try_par_row_chunks_mut`] with an opt-in serial retry: if any parallel
+/// band panics, the same static partition is re-run serially, band by
+/// band, on the caller's thread.
+///
+/// Because the partition is identical and every band closure is required
+/// to be a pure function of `(start_row, band)` (the workspace's
+/// determinism contract), a successful retry leaves `data` bit-identical
+/// to what an uninterrupted parallel run would have produced — a band
+/// that panicked halfway through is simply overwritten in full. If the
+/// serial retry panics too, the error names that band and carries both
+/// payloads' context.
+pub fn par_row_chunks_mut_with_fallback<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    workers: usize,
+    f: F,
+) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    match try_par_row_chunks_mut(data, row_len, workers, &f) {
+        Ok(()) => Ok(()),
+        Err(RrsError::WorkerPanicked { band: failed, .. }) => {
+            // Serial retry over the identical static partition.
+            let rows = data.len() / row_len;
+            let workers = workers.max(1).min(rows);
+            let rows_per_band = rows.div_ceil(workers);
+            for (i, band) in data.chunks_mut(rows_per_band * row_len).enumerate() {
+                run_caught(i * rows_per_band, band, &f).map_err(|e| {
+                    rename_band_to_row(i)(e)
+                        .with_context(format!("serial retry after parallel band {failed} panicked"))
+                })?;
+            }
+            Ok(())
+        }
+        Err(other) => Err(other),
+    }
 }
 
 /// Evaluates `f(i)` for `i in 0..n` on `workers` threads and returns the
@@ -310,6 +482,111 @@ mod tests {
     fn row_chunks_ragged_buffer_panics() {
         let mut v = vec![0u8; 10];
         par_row_chunks_mut(&mut v, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn try_chunks_ok_path_matches_plain() {
+        let mut a = vec![0u64; 503];
+        let mut b = vec![0u64; 503];
+        par_chunks_mut(&mut a, 4, |i, c| c.iter_mut().for_each(|x| *x = i as u64 + 1));
+        try_par_chunks_mut(&mut b, 4, |i, c| c.iter_mut().for_each(|x| *x = i as u64 + 1))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_chunks_reports_lowest_failed_band() {
+        let mut v = vec![0u8; 64];
+        let err = try_par_chunks_mut(&mut v, 4, |i, _| {
+            if i >= 1 {
+                panic!("band {i} exploded");
+            }
+        })
+        .unwrap_err();
+        match err {
+            rrs_error::RrsError::WorkerPanicked { band, payload } => {
+                assert_eq!(band, 1, "lowest failed band wins");
+                assert!(payload.contains("exploded"));
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn try_row_chunks_validates_geometry_without_panicking() {
+        let mut v = vec![0u8; 10];
+        let err = try_par_row_chunks_mut(&mut v, 3, 2, |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::ShapeMismatch);
+        assert!(err.to_string().contains("whole rows"));
+        let err = try_par_row_chunks_mut(&mut v, 0, 2, |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::InvalidParam);
+    }
+
+    #[test]
+    fn try_row_chunks_names_failed_band_serial_and_parallel() {
+        for workers in [1usize, 3] {
+            let nx = 4;
+            let mut v = vec![0u8; nx * 9];
+            let err = try_par_row_chunks_mut(&mut v, nx, workers, |row0, _| {
+                if row0 == 0 {
+                    panic!("first band down");
+                }
+            })
+            .unwrap_err();
+            match err {
+                rrs_error::RrsError::WorkerPanicked { band, payload } => {
+                    assert_eq!(band, 0);
+                    assert!(payload.contains("first band down"));
+                }
+                other => panic!("workers={workers}: wrong variant {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_retry_is_bit_exact_after_transient_panic() {
+        use std::sync::atomic::AtomicBool;
+        let nx = 7;
+        let ny = 23;
+        let fill = |row0: usize, band: &mut [u64]| {
+            for (j, x) in band.iter_mut().enumerate() {
+                *x = (row0 * nx + j) as u64 * 3 + 1;
+            }
+        };
+        // Reference: plain serial run.
+        let mut want = vec![0u64; nx * ny];
+        par_row_chunks_mut(&mut want, nx, 1, |r, b| fill(r, b));
+        // Faulty run: band 2 dies once (parallel attempt), then succeeds
+        // on the serial retry.
+        let tripped = AtomicBool::new(false);
+        let mut got = vec![0u64; nx * ny];
+        par_row_chunks_mut_with_fallback(&mut got, nx, 4, |row0, band| {
+            let rows_per_band = ny.div_ceil(4);
+            if row0 / rows_per_band == 2 && !tripped.swap(true, Ordering::SeqCst) {
+                // Poison half the band before dying, to prove the retry
+                // overwrites partial output.
+                band[0] = u64::MAX;
+                panic!("transient fault");
+            }
+            fill(row0, band);
+        })
+        .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fallback_surfaces_persistent_panics() {
+        let mut v = vec![0u8; 12];
+        let err = par_row_chunks_mut_with_fallback(&mut v, 4, 3, |row0, _| {
+            if row0 == 2 {
+                panic!("permanent fault");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::WorkerPanicked);
+        let msg = err.to_string();
+        assert!(msg.contains("serial retry"), "{msg}");
+        assert!(msg.contains("permanent fault"), "{msg}");
     }
 
     #[test]

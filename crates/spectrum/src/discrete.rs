@@ -14,6 +14,7 @@
 //! The amplitude array `v = √w` (eqn 17) feeds both generation methods.
 
 use crate::model::Spectrum;
+use rrs_error::RrsError;
 use rrs_fft::spectral::angular_frequency;
 use rrs_fft::{Direction, Fft2d};
 use rrs_grid::Grid2;
@@ -34,17 +35,42 @@ pub struct GridSpec {
 }
 
 impl GridSpec {
+    /// Validated lattice with explicit spacings: both dimensions must be
+    /// even and ≥ 2, both spacings positive and finite.
+    pub fn try_new(nx: usize, ny: usize, dx: f64, dy: f64) -> Result<Self, RrsError> {
+        if !(nx >= 2 && nx % 2 == 0) {
+            return Err(RrsError::invalid_param(
+                "nx",
+                format!("nx must be even and >= 2, got {nx}"),
+            ));
+        }
+        if !(ny >= 2 && ny % 2 == 0) {
+            return Err(RrsError::invalid_param(
+                "ny",
+                format!("ny must be even and >= 2, got {ny}"),
+            ));
+        }
+        if !(dx > 0.0 && dx.is_finite()) {
+            return Err(RrsError::invalid_param("dx", format!("dx must be positive, got {dx}")));
+        }
+        if !(dy > 0.0 && dy.is_finite()) {
+            return Err(RrsError::invalid_param("dy", format!("dy must be positive, got {dy}")));
+        }
+        Ok(Self { nx, ny, dx, dy })
+    }
+
+    /// Validated unit-spacing lattice.
+    pub fn try_unit(nx: usize, ny: usize) -> Result<Self, RrsError> {
+        Self::try_new(nx, ny, 1.0, 1.0)
+    }
+
     /// A lattice with explicit spacings.
     ///
     /// # Panics
     /// Panics unless both dimensions are even and ≥ 2 and spacings are
-    /// positive.
+    /// positive. Fallible callers use [`GridSpec::try_new`].
     pub fn new(nx: usize, ny: usize, dx: f64, dy: f64) -> Self {
-        assert!(nx >= 2 && nx % 2 == 0, "nx must be even and >= 2, got {nx}");
-        assert!(ny >= 2 && ny % 2 == 0, "ny must be even and >= 2, got {ny}");
-        assert!(dx > 0.0 && dx.is_finite(), "dx must be positive, got {dx}");
-        assert!(dy > 0.0 && dy.is_finite(), "dy must be positive, got {dy}");
-        Self { nx, ny, dx, dy }
+        Self::try_new(nx, ny, dx, dy).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Unit-spacing lattice — the paper's convention.

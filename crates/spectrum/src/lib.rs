@@ -36,3 +36,4 @@ pub use model::{Exponential, Gaussian, PowerLaw, Spectrum, SpectrumModel};
 pub use mixture::Mixture;
 pub use params::SurfaceParams;
 pub use rotated::Rotated;
+pub use rrs_error::RrsError;

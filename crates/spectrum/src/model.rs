@@ -75,13 +75,25 @@ pub struct PowerLaw {
 }
 
 impl PowerLaw {
+    /// Validated constructor: requires `n > 1` (the spectrum is not
+    /// integrable otherwise).
+    pub fn try_new(params: SurfaceParams, n: f64) -> Result<Self, rrs_error::RrsError> {
+        if !(n.is_finite() && n > 1.0) {
+            return Err(rrs_error::RrsError::invalid_param(
+                "n",
+                format!("Power-Law order must satisfy N > 1, got {n}"),
+            ));
+        }
+        Ok(Self { params, n })
+    }
+
     /// Builds the model.
     ///
     /// # Panics
     /// Panics unless `n > 1` (the spectrum is not integrable otherwise).
+    /// Fallible callers use [`PowerLaw::try_new`].
     pub fn new(params: SurfaceParams, n: f64) -> Self {
-        assert!(n.is_finite() && n > 1.0, "Power-Law order must satisfy N > 1, got {n}");
-        Self { params, n }
+        Self::try_new(params, n).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The second-order model of the paper's Figure 2.

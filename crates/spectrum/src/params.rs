@@ -1,5 +1,7 @@
 //! Statistical surface parameters.
 
+use rrs_error::RrsError;
+
 /// The three statistical parameters of a homogeneous rough surface: height
 /// standard deviation `h` and the correlation lengths `clx`, `cly` along
 /// the two axes (grid units).
@@ -14,16 +16,42 @@ pub struct SurfaceParams {
 }
 
 impl SurfaceParams {
+    /// Validated anisotropic parameters: `h` must be finite and
+    /// non-negative, both correlation lengths finite and positive.
+    pub fn try_new(h: f64, clx: f64, cly: f64) -> Result<Self, RrsError> {
+        if !(h.is_finite() && h >= 0.0) {
+            return Err(RrsError::invalid_param(
+                "h",
+                format!("h must be finite and non-negative, got {h}"),
+            ));
+        }
+        if !(clx.is_finite() && clx > 0.0) {
+            return Err(RrsError::invalid_param(
+                "clx",
+                format!("clx must be finite and positive, got {clx}"),
+            ));
+        }
+        if !(cly.is_finite() && cly > 0.0) {
+            return Err(RrsError::invalid_param(
+                "cly",
+                format!("cly must be finite and positive, got {cly}"),
+            ));
+        }
+        Ok(Self { h, clx, cly })
+    }
+
+    /// Validated isotropic parameters (`clx == cly == cl`).
+    pub fn try_isotropic(h: f64, cl: f64) -> Result<Self, RrsError> {
+        Self::try_new(h, cl, cl)
+    }
+
     /// Anisotropic parameters.
     ///
     /// # Panics
     /// Panics unless `h >= 0` and both correlation lengths are positive
-    /// and finite.
+    /// and finite. Fallible callers use [`SurfaceParams::try_new`].
     pub fn new(h: f64, clx: f64, cly: f64) -> Self {
-        assert!(h.is_finite() && h >= 0.0, "h must be finite and non-negative, got {h}");
-        assert!(clx.is_finite() && clx > 0.0, "clx must be finite and positive, got {clx}");
-        assert!(cly.is_finite() && cly > 0.0, "cly must be finite and positive, got {cly}");
-        Self { h, clx, cly }
+        Self::try_new(h, clx, cly).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Isotropic parameters (`clx == cly == cl`), the form used in all of

@@ -1,0 +1,88 @@
+//! Properties of the fallible constructors: the whole invalid domain is
+//! rejected with a typed error, the whole valid domain is accepted, and
+//! the panicking wrappers agree with their `try_*` twins.
+
+use rrs_check::{from_fn, props, CaseRng};
+use rrs_spectrum::{GridSpec, PowerLaw, SurfaceParams};
+use rrs_error::ErrorKind;
+
+/// Draws a value that is NOT a finite positive number: NaN, ±∞, zero, or
+/// a negative finite.
+fn non_positive(rng: &mut CaseRng) -> f64 {
+    match rng.next_below(5) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        _ => -(rng.next_f64() * 1e6 + f64::MIN_POSITIVE),
+    }
+}
+
+props! {
+    #![cases = 96]
+
+    fn valid_params_accepted(h in 0.0f64..1e9, clx in 1e-9f64..1e9, cly in 1e-9f64..1e9) {
+        let p = SurfaceParams::try_new(h, clx, cly).expect("valid domain must be accepted");
+        assert_eq!((p.h, p.clx, p.cly), (h, clx, cly));
+        // The panicking wrapper constructs the identical value.
+        assert_eq!(SurfaceParams::new(h, clx, cly), p);
+        assert_eq!(SurfaceParams::try_isotropic(h, clx).unwrap(), SurfaceParams::isotropic(h, clx));
+    }
+
+    fn bad_height_rejected(h in from_fn(|rng: &mut CaseRng| {
+        // h may be zero, so only NaN/±∞/negative are invalid.
+        match rng.next_below(4) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => -(rng.next_f64() * 1e6 + f64::MIN_POSITIVE),
+        }
+    }), cl in 1e-3f64..1e3) {
+        let e = SurfaceParams::try_new(h, cl, cl).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidParam, "h={h}: {e}");
+        assert!(e.to_string().contains("h must be finite"), "{e}");
+    }
+
+    fn bad_correlation_length_rejected(
+        bad in from_fn(non_positive),
+        good in 1e-3f64..1e3,
+        which in rrs_check::any::<bool>(),
+    ) {
+        let (clx, cly) = if which { (bad, good) } else { (good, bad) };
+        let e = SurfaceParams::try_new(1.0, clx, cly).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidParam, "clx={clx} cly={cly}: {e}");
+    }
+
+    fn odd_or_tiny_grids_rejected(nx in 0usize..512, ny in 0usize..512) {
+        let valid = |n: usize| n >= 2 && n % 2 == 0;
+        match GridSpec::try_unit(nx, ny) {
+            Ok(spec) => {
+                assert!(valid(nx) && valid(ny), "{nx}x{ny} accepted");
+                assert_eq!((spec.nx, spec.ny), (nx, ny));
+                assert_eq!(GridSpec::unit(nx, ny), spec);
+            }
+            Err(e) => {
+                assert!(!(valid(nx) && valid(ny)), "{nx}x{ny} rejected: {e}");
+                assert_eq!(e.kind(), ErrorKind::InvalidParam);
+            }
+        }
+    }
+
+    fn bad_spacing_rejected(bad in from_fn(non_positive)) {
+        let e = GridSpec::try_new(4, 4, bad, 1.0).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidParam, "dx={bad}: {e}");
+        let e = GridSpec::try_new(4, 4, 1.0, bad).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidParam, "dy={bad}: {e}");
+    }
+
+    fn power_law_order_boundary(n in -4.0f64..8.0) {
+        let p = SurfaceParams::isotropic(1.0, 5.0);
+        match PowerLaw::try_new(p, n) {
+            Ok(_) => assert!(n > 1.0, "N={n} accepted"),
+            Err(e) => {
+                assert!(!(n > 1.0), "N={n} rejected: {e}");
+                assert!(e.to_string().contains("N > 1"), "{e}");
+            }
+        }
+    }
+}

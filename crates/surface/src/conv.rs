@@ -14,6 +14,7 @@
 
 use crate::kernel::{ConvolutionKernel, KernelSizing};
 use crate::noise::NoiseField;
+use rrs_error::RrsError;
 use rrs_grid::Grid2;
 use rrs_spectrum::Spectrum;
 
@@ -47,18 +48,24 @@ impl ConvolutionGenerator {
         &self.kernel
     }
 
-    /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
-    /// surface defined by `noise`. Windows of the same `noise` tile
-    /// seamlessly.
-    pub fn generate_window(
+    /// Fallible [`ConvolutionGenerator::generate_window`]: rejects empty
+    /// windows and reports a worker panic as
+    /// [`RrsError::WorkerPanicked`](rrs_error::RrsError) instead of
+    /// propagating the unwind.
+    pub fn try_generate_window(
         &self,
         noise: &NoiseField,
         x0: i64,
         y0: i64,
         nx: usize,
         ny: usize,
-    ) -> Grid2<f64> {
-        assert!(nx > 0 && ny > 0, "window must be non-empty");
+    ) -> Result<Grid2<f64>, RrsError> {
+        if nx == 0 || ny == 0 {
+            return Err(RrsError::invalid_param(
+                "nx,ny",
+                format!("window must be non-empty, got {nx}x{ny}"),
+            ));
+        }
         let (kw, kh) = self.kernel.extent();
         let (ox, oy) = self.kernel.origin();
         // f(n) = Σ_j w̃(j)·X(n−j); offsets j span [ox, ox+kw) × [oy, oy+kh),
@@ -71,16 +78,34 @@ impl ConvolutionGenerator {
         self.correlate(&noise_win, ww, nx, ny)
     }
 
+    /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
+    /// surface defined by `noise`. Windows of the same `noise` tile
+    /// seamlessly.
+    ///
+    /// # Panics
+    /// Panics if the window is empty. Fallible callers use
+    /// [`ConvolutionGenerator::try_generate_window`].
+    pub fn generate_window(
+        &self,
+        noise: &NoiseField,
+        x0: i64,
+        y0: i64,
+        nx: usize,
+        ny: usize,
+    ) -> Grid2<f64> {
+        self.try_generate_window(noise, x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// The inner correlation: `out[ix,iy] = Σ_{a,b} w̃[a,b] ·
     /// win[ix + kw−1−a, iy + kh−1−b]` — convolution with the kernel
     /// flipped, which realises `Σ_j w̃(j)·X(n−j)` on the materialised
     /// window.
-    fn correlate(&self, win: &[f64], ww: usize, nx: usize, ny: usize) -> Grid2<f64> {
+    fn correlate(&self, win: &[f64], ww: usize, nx: usize, ny: usize) -> Result<Grid2<f64>, RrsError> {
         let (kw, kh) = self.kernel.extent();
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        rrs_par::par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
+        rrs_par::try_par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
             for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                 let iy = iy0 + row_off;
                 for (ix, slot) in row.iter_mut().enumerate() {
@@ -101,23 +126,35 @@ impl ConvolutionGenerator {
                     *slot = acc;
                 }
             }
-        });
-        out
+        })?;
+        Ok(out)
     }
 
-    /// Periodic convolution against an explicit `Nx × Ny` noise grid
-    /// (wrap-around indexing): `f[n] = Σ_j w̃[j] · X[(n−j) mod N]`.
-    ///
-    /// With the full-size kernel and `X = DFT(u)/√(NxNy)` this reproduces
-    /// the direct DFT method sample-for-sample.
-    pub fn convolve_periodic(&self, noise: &Grid2<f64>) -> Grid2<f64> {
+    /// Fallible [`ConvolutionGenerator::convolve_periodic`]: additionally
+    /// rejects an empty noise grid and a kernel whose extent exceeds the
+    /// grid (wrap-around would fold the kernel onto itself and the result
+    /// would no longer carry the prescribed statistics).
+    pub fn try_convolve_periodic(&self, noise: &Grid2<f64>) -> Result<Grid2<f64>, RrsError> {
         let (nx, ny) = noise.shape();
-        let (_kw, kh) = self.kernel.extent();
+        let (kw, kh) = self.kernel.extent();
+        if nx == 0 || ny == 0 {
+            return Err(RrsError::invalid_param(
+                "noise",
+                format!("noise grid must be non-empty, got {nx}x{ny}"),
+            ));
+        }
+        if kw > nx || kh > ny {
+            return Err(RrsError::shape_mismatch(
+                "kernel larger than the noise grid",
+                format!("kernel extent at most {nx}x{ny}"),
+                format!("{kw}x{kh}"),
+            ));
+        }
         let (ox, oy) = self.kernel.origin();
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        rrs_par::par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
+        rrs_par::try_par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
             for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                 let iy = iy0 + row_off;
                 for (ix, slot) in row.iter_mut().enumerate() {
@@ -135,8 +172,21 @@ impl ConvolutionGenerator {
                     *slot = acc;
                 }
             }
-        });
-        out
+        })?;
+        Ok(out)
+    }
+
+    /// Periodic convolution against an explicit `Nx × Ny` noise grid
+    /// (wrap-around indexing): `f[n] = Σ_j w̃[j] · X[(n−j) mod N]`.
+    ///
+    /// With the full-size kernel and `X = DFT(u)/√(NxNy)` this reproduces
+    /// the direct DFT method sample-for-sample.
+    ///
+    /// # Panics
+    /// Panics on an empty noise grid or a kernel larger than it. Fallible
+    /// callers use [`ConvolutionGenerator::try_convolve_periodic`].
+    pub fn convolve_periodic(&self, noise: &Grid2<f64>) -> Grid2<f64> {
+        self.try_convolve_periodic(noise).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -6,6 +6,7 @@
 //! `Var f = Σw ≈ h²` without further normalisation.
 
 use crate::hermitian::hermitian_gaussian_array;
+use rrs_error::RrsError;
 use rrs_fft::{Direction, Fft2d};
 use rrs_grid::Grid2;
 use rrs_num::Complex64;
@@ -50,9 +51,25 @@ impl<S: Spectrum> DirectDftGenerator<S> {
     /// Generates the surface determined by an explicit Hermitian bin array
     /// `u`. Exposed so the test suite can drive the direct and convolution
     /// methods with the *same* randomness and compare outputs exactly.
+    ///
+    /// # Panics
+    /// Panics if `u.len() != nx * ny`. Fallible callers use
+    /// [`DirectDftGenerator::try_generate_from_bins`].
     pub fn generate_from_bins(&self, u: &[Complex64]) -> Grid2<f64> {
+        self.try_generate_from_bins(u).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DirectDftGenerator::generate_from_bins`]: the bin array
+    /// must have exactly `nx · ny` entries.
+    pub fn try_generate_from_bins(&self, u: &[Complex64]) -> Result<Grid2<f64>, RrsError> {
         let (nx, ny) = (self.spec.nx, self.spec.ny);
-        assert_eq!(u.len(), nx * ny, "bin array shape mismatch");
+        if u.len() != nx * ny {
+            return Err(RrsError::shape_mismatch(
+                "bin array shape mismatch",
+                nx * ny,
+                u.len(),
+            ));
+        }
         let v = amplitude_array(&self.spectrum, self.spec);
         let mut z: Vec<Complex64> =
             v.as_slice().iter().zip(u).map(|(&a, &b)| b.scale(a)).collect();
@@ -62,7 +79,7 @@ impl<S: Spectrum> DirectDftGenerator<S> {
             z.iter().map(|c| c.im.abs()).fold(0.0, f64::max) < 1e-8,
             "direct DFT output is not real"
         );
-        Grid2::from_vec(nx, ny, z.into_iter().map(|c| c.re).collect())
+        Ok(Grid2::from_vec(nx, ny, z.into_iter().map(|c| c.re).collect()))
     }
 }
 

@@ -17,6 +17,7 @@
 //! length of a RRS is small"): the smallest centred window holding all but
 //! a requested fraction of the kernel energy.
 
+use rrs_error::RrsError;
 use rrs_fft::spectral::fftshift2;
 use rrs_fft::{Direction, Fft2d};
 use rrs_grid::Grid2;
@@ -163,12 +164,25 @@ impl ConvolutionKernel {
     /// odd extents `(2rx+1) × (2ry+1)` so it stays exactly centred.
     ///
     /// # Panics
-    /// Panics unless `0 < epsilon < 1`.
+    /// Panics unless `0 < epsilon < 1`. Fallible callers use
+    /// [`ConvolutionKernel::try_truncated`].
     pub fn truncated(&self, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1), got {epsilon}");
+        self.try_truncated(epsilon).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ConvolutionKernel::truncated`]: the energy budget
+    /// `epsilon` must be finite and strictly inside `(0, 1)` (NaN is
+    /// rejected too — both comparisons fail on it).
+    pub fn try_truncated(&self, epsilon: f64) -> Result<Self, RrsError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(RrsError::invalid_param(
+                "epsilon",
+                format!("epsilon must be in (0,1), got {epsilon}"),
+            ));
+        }
         let total = self.energy();
         if total == 0.0 {
-            return self.clone();
+            return Ok(self.clone());
         }
         let (w, h) = self.extent();
         let (hx, hy) = ((w / 2) as i64, (h / 2) as i64);
@@ -182,7 +196,7 @@ impl ConvolutionKernel {
         if !ok(1.0) {
             // Even the largest centred odd window can't hold the energy
             // (it drops the outermost rows) — keep the full kernel.
-            return self.clone();
+            return Ok(self.clone());
         }
         let mut lo = 0.0;
         let mut hi = 1.0;
@@ -196,7 +210,7 @@ impl ConvolutionKernel {
         }
         let rx = ((hi * hx as f64).ceil() as i64).min(hx - 1).max(0);
         let ry = ((hi * hy as f64).ceil() as i64).min(hy - 1).max(0);
-        self.crop(rx, ry)
+        Ok(self.crop(rx, ry))
     }
 
     /// Energy within the centred window of half-widths `(rx, ry)`.

@@ -34,4 +34,5 @@ pub use direct::DirectDftGenerator;
 pub use kernel::{ConvolutionKernel, KernelSizing};
 pub use line::{LineGenerator, LineKernel};
 pub use noise::NoiseField;
+pub use rrs_error::RrsError;
 pub use stream::StripGenerator;

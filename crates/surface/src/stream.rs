@@ -10,6 +10,7 @@
 use crate::conv::ConvolutionGenerator;
 use crate::kernel::KernelSizing;
 use crate::noise::NoiseField;
+use rrs_error::RrsError;
 use rrs_grid::Grid2;
 use rrs_spectrum::Spectrum;
 
@@ -22,21 +23,48 @@ pub struct StripGenerator {
 }
 
 impl StripGenerator {
+    /// Fallible [`StripGenerator::new`]: the transverse extent must be
+    /// positive.
+    pub fn try_new<S: Spectrum + ?Sized>(
+        spectrum: &S,
+        sizing: KernelSizing,
+        ny: usize,
+        seed: u64,
+    ) -> Result<Self, RrsError> {
+        Self::try_from_generator(ConvolutionGenerator::new(spectrum, sizing), ny, seed)
+    }
+
     /// Builds a strip generator of transverse extent `ny` from a spectrum.
+    ///
+    /// # Panics
+    /// Panics if `ny == 0`. Fallible callers use
+    /// [`StripGenerator::try_new`].
     pub fn new<S: Spectrum + ?Sized>(spectrum: &S, sizing: KernelSizing, ny: usize, seed: u64) -> Self {
-        assert!(ny > 0, "strip height must be positive");
-        Self {
-            gen: ConvolutionGenerator::new(spectrum, sizing),
-            noise: NoiseField::new(seed),
-            ny,
-            cursor: 0,
+        Self::try_new(spectrum, sizing, ny, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`StripGenerator::from_generator`].
+    pub fn try_from_generator(
+        gen: ConvolutionGenerator,
+        ny: usize,
+        seed: u64,
+    ) -> Result<Self, RrsError> {
+        if ny == 0 {
+            return Err(RrsError::invalid_param(
+                "ny",
+                "strip height must be positive, got 0",
+            ));
         }
+        Ok(Self { gen, noise: NoiseField::new(seed), ny, cursor: 0 })
     }
 
     /// Wraps an existing convolution generator.
+    ///
+    /// # Panics
+    /// Panics if `ny == 0`. Fallible callers use
+    /// [`StripGenerator::try_from_generator`].
     pub fn from_generator(gen: ConvolutionGenerator, ny: usize, seed: u64) -> Self {
-        assert!(ny > 0, "strip height must be positive");
-        Self { gen, noise: NoiseField::new(seed), ny, cursor: 0 }
+        Self::try_from_generator(gen, ny, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Transverse extent.
@@ -49,16 +77,36 @@ impl StripGenerator {
         self.cursor
     }
 
+    /// Seed of the backing noise lattice. Together with
+    /// [`StripGenerator::cursor`] and [`StripGenerator::height`] this is
+    /// the complete resumable state of a sequential stream: a new
+    /// generator built from the same spectrum/kernel with this seed,
+    /// `seek`ed to the saved cursor, continues the identical surface.
+    pub fn seed(&self) -> u64 {
+        self.noise.seed()
+    }
+
+    /// Fallible [`StripGenerator::strip_at`].
+    pub fn try_strip_at(&self, x0: i64, width: usize) -> Result<Grid2<f64>, RrsError> {
+        self.gen.try_generate_window(&self.noise, x0, 0, width, self.ny)
+    }
+
     /// The strip `[x0, x0+width) × [0, ny)` — random access, stateless.
     pub fn strip_at(&self, x0: i64, width: usize) -> Grid2<f64> {
-        self.gen.generate_window(&self.noise, x0, 0, width, self.ny)
+        self.try_strip_at(x0, width).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`StripGenerator::next_strip`]. The cursor advances only
+    /// on success, so a failed call can simply be retried.
+    pub fn try_next_strip(&mut self, width: usize) -> Result<Grid2<f64>, RrsError> {
+        let s = self.try_strip_at(self.cursor, width)?;
+        self.cursor += width as i64;
+        Ok(s)
     }
 
     /// The next sequential strip of `width` samples; advances the cursor.
     pub fn next_strip(&mut self, width: usize) -> Grid2<f64> {
-        let s = self.strip_at(self.cursor, width);
-        self.cursor += width as i64;
-        s
+        self.try_next_strip(width).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Resets the cursor to `x`.

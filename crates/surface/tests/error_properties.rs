@@ -1,0 +1,93 @@
+//! Properties of the fallible generator entry points: invalid windows,
+//! truncation budgets, stream heights and undersized periodic grids are
+//! rejected with typed errors; the valid domain matches the panicking
+//! wrappers bit-for-bit.
+
+use rrs_check::{from_fn, props, CaseRng};
+use rrs_error::ErrorKind;
+use rrs_grid::Grid2;
+use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
+use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, KernelSizing, NoiseField, StripGenerator};
+
+fn small_kernel(cl: f64) -> ConvolutionKernel {
+    ConvolutionKernel::build_on(
+        &Gaussian::new(SurfaceParams::isotropic(1.0, cl)),
+        GridSpec::unit(16, 16),
+    )
+}
+
+props! {
+    #![cases = 48]
+
+    fn empty_windows_rejected(nx in 0usize..3, ny in 0usize..3, seed in rrs_check::any::<u64>()) {
+        let gen = ConvolutionGenerator::from_kernel(small_kernel(2.0)).with_workers(1);
+        let noise = NoiseField::new(seed);
+        match gen.try_generate_window(&noise, 0, 0, nx, ny) {
+            Ok(g) => {
+                assert!(nx > 0 && ny > 0);
+                assert_eq!(g.shape(), (nx, ny));
+                assert_eq!(g, gen.generate_window(&noise, 0, 0, nx, ny));
+            }
+            Err(e) => {
+                assert!(nx == 0 || ny == 0);
+                assert_eq!(e.kind(), ErrorKind::InvalidParam, "{e}");
+                assert!(e.to_string().contains("non-empty"), "{e}");
+            }
+        }
+    }
+
+    fn bad_epsilon_rejected(eps in from_fn(|rng: &mut CaseRng| {
+        match rng.next_below(6) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => 1.0,
+            _ => 1.0 + rng.next_f64() * 10.0,
+        }
+    })) {
+        let e = small_kernel(3.0).try_truncated(eps).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidParam, "eps={eps}: {e}");
+        assert!(e.to_string().contains("epsilon"), "{e}");
+    }
+
+    fn good_epsilon_accepted(eps in 1e-6f64..0.999) {
+        let k = small_kernel(3.0);
+        let t = k.try_truncated(eps).expect("valid epsilon accepted");
+        assert_eq!(t, k.truncated(eps));
+    }
+
+    fn kernel_larger_than_periodic_grid_rejected(n in 1usize..40) {
+        // The kernel extent is fixed at 16x16; periodic convolution only
+        // accepts noise grids at least that large on both axes.
+        let gen = ConvolutionGenerator::from_kernel(small_kernel(2.0)).with_workers(1);
+        let noise = Grid2::filled(n, n, 0.5);
+        match gen.try_convolve_periodic(&noise) {
+            Ok(out) => {
+                assert!(n >= 16, "{n}x{n} accepted");
+                assert_eq!(out.shape(), (n, n));
+            }
+            Err(e) => {
+                assert!(n < 16, "{n}x{n} rejected: {e}");
+                assert_eq!(e.kind(), ErrorKind::ShapeMismatch);
+                assert!(e.to_string().contains("kernel larger than the noise grid"), "{e}");
+            }
+        }
+    }
+
+    fn stream_height_boundary(ny in 0usize..6, seed in rrs_check::any::<u64>()) {
+        let gen = ConvolutionGenerator::from_kernel(small_kernel(2.0)).with_workers(1);
+        match StripGenerator::try_from_generator(gen, ny, seed) {
+            Ok(sg) => {
+                assert!(ny > 0);
+                assert_eq!(sg.height(), ny);
+                assert_eq!(sg.seed(), seed);
+                assert_eq!(sg.cursor(), 0);
+            }
+            Err(e) => {
+                assert_eq!(ny, 0);
+                assert!(e.to_string().contains("strip height must be positive"), "{e}");
+            }
+        }
+    }
+}

@@ -30,9 +30,18 @@
 //! | [`inhomo`] | plate-oriented and point-oriented inhomogeneous generation (paper §3 — the contribution) |
 //! | [`stats`] | moments, autocorrelation, correlation-length fits, normality tests |
 //! | [`fft`], [`rng`], [`num`], [`grid`], [`par`] | substrates built for this reproduction |
-//! | [`io`] | CSV / gnuplot / PGM / snapshot export |
+//! | [`io`] | CSV / gnuplot / PGM / snapshot export, stream checkpoints |
 //! | [`propagation`] | link budgets over generated profiles (the motivating application) |
+//! | [`error`] | the unified [`error::RrsError`] taxonomy returned by every `try_*` API |
+//!
+//! ## Error handling
+//!
+//! Every fallible constructor and entry point has a `try_*` twin returning
+//! [`Result`]`<_, `[`error::RrsError`]`>`; the short-named methods are thin
+//! wrappers that panic with the same message for quick scripts and tests.
+//! Library and service callers should prefer the `try_*` forms.
 
+pub use rrs_error as error;
 pub use rrs_fft as fft;
 pub use rrs_grid as grid;
 pub use rrs_inhomo as inhomo;
@@ -47,7 +56,9 @@ pub use rrs_surface as surface;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use rrs_error::{ErrorKind, RrsError};
     pub use rrs_grid::Grid2;
+    pub use rrs_io::StreamCheckpoint;
     pub use rrs_inhomo::{
         InhomogeneousGenerator, Plate, PlateLayout, PointLayout, Region, RepresentativePoint,
         TransitionProfile,
