@@ -32,6 +32,17 @@ cargo test -q --workspace --locked --offline
 echo "== fault injection: rrs-io decoders must fail closed =="
 cargo test -q -p rrs-io --features failpoints --locked --offline
 
+echo "== guard: no internal calls to deprecated APIs =="
+# The positional generate_window forms are deprecated wrappers kept for
+# downstream compatibility; in-repo code must use the Window forms
+# (wrapper-equivalence tests opt out with #[allow(deprecated)]).
+RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets --locked --offline
+
+echo "== obs overhead gate: disabled recorder must be free =="
+# Exits 1 if a disabled Recorder is measurably slower than the
+# no-recorder baseline (min-of-reps ratio >= 1.5x) — see bench_obs.
+cargo run --release --locked --offline -p rrs-bench --bin bench_obs
+
 echo "== bench smoke: reduced-scale reproduction run =="
 smoke_out="$(mktemp -d)"
 trap 'rm -rf "$smoke_out"' EXIT

@@ -12,9 +12,14 @@
 //!
 //! Run with `cargo run --release -p rrs-bench --bin bench_generation`;
 //! writes `BENCH_generation.json` — the perf baseline future PRs diff
-//! against.
+//! against. Pass `--obs` to attach an enabled `rrs_obs::Recorder` to
+//! every generator and embed the stage breakdown (kernel build / window
+//! materialise / correlate / per-band counters) as an `"obs"` section of
+//! the JSON report.
 
 use rrs_bench::Harness;
+use rrs_grid::Window;
+use rrs_obs::Recorder;
 use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
 use rrs_surface::{
     ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing, NoiseField,
@@ -25,30 +30,36 @@ use std::hint::black_box;
 const OUT: usize = 128;
 
 fn main() {
+    let obs_on = std::env::args().any(|a| a == "--obs");
+    let rec = if obs_on { Recorder::enabled() } else { Recorder::disabled() };
     let mut h = Harness::new("generation");
 
     let noise = NoiseField::new(1);
+    let out_win = Window::sized(OUT, OUT);
     for cl in [4.0, 8.0, 16.0, 32.0] {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, cl));
-        let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
+        let gen = ConvolutionGenerator::new_observed(&s, KernelSizing::default(), rec.clone())
+            .with_workers(1);
         h.bench_elems(&format!("kernel_scaling/cl{}", cl as u64), (OUT * OUT) as u64, || {
-            black_box(gen.generate_window(&noise, 0, 0, OUT, OUT))
+            black_box(gen.generate(&noise, out_win))
         });
     }
 
     let noise = NoiseField::new(2);
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 12.0));
-    let full = ConvolutionKernel::build(&s, KernelSizing::default());
+    let full = ConvolutionKernel::build_observed(&s, KernelSizing::default(), &rec);
     for (label, kernel) in [
         ("full", full.clone()),
-        ("eps1e-1", full.truncated(1e-1)),
-        ("eps1e-2", full.truncated(1e-2)),
-        ("eps1e-4", full.truncated(1e-4)),
+        ("eps1e-1", full.try_truncated_observed(1e-1, &rec).expect("valid epsilon")),
+        ("eps1e-2", full.try_truncated_observed(1e-2, &rec).expect("valid epsilon")),
+        ("eps1e-4", full.try_truncated_observed(1e-4, &rec).expect("valid epsilon")),
     ] {
         let extent = kernel.extent().0;
-        let gen = ConvolutionGenerator::from_kernel(kernel).with_workers(1);
+        let gen = ConvolutionGenerator::from_kernel(kernel)
+            .with_workers(1)
+            .with_recorder(rec.clone());
         h.bench(&format!("kernel_truncation/{label}/{extent}"), || {
-            black_box(gen.generate_window(&noise, 0, 0, OUT, OUT))
+            black_box(gen.generate(&noise, out_win))
         });
     }
 
@@ -62,34 +73,66 @@ fn main() {
             seed += 1;
             black_box(direct.generate(seed))
         });
-        let conv = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
+        let win = Window::sized(n, n);
+        let conv = ConvolutionGenerator::new(&s, KernelSizing::default())
+            .with_workers(1)
+            .with_recorder(rec.clone());
         h.bench_elems(&format!("direct_vs_conv/convolution/{n}"), (n * n) as u64, || {
-            black_box(conv.generate_window(&noise, 0, 0, n, n))
+            black_box(conv.generate(&noise, win))
         });
         let conv_t = ConvolutionGenerator::from_kernel(
             ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-2),
         )
-        .with_workers(1);
+        .with_workers(1)
+        .with_recorder(rec.clone());
         h.bench_elems(&format!("direct_vs_conv/convolution_trunc/{n}"), (n * n) as u64, || {
-            black_box(conv_t.generate_window(&noise, 0, 0, n, n))
+            black_box(conv_t.generate(&noise, win))
         });
     }
 
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 12.0));
     let noise = NoiseField::new(4);
     let kernel = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
+    let big_win = Window::sized(256, 256);
     for workers in [1usize, 2, 4, 8] {
-        let gen = ConvolutionGenerator::from_kernel(kernel.clone()).with_workers(workers);
+        let gen = ConvolutionGenerator::from_kernel(kernel.clone())
+            .with_workers(workers)
+            .with_recorder(rec.clone());
         h.bench(&format!("parallel_scaling/w{workers}"), || {
-            black_box(gen.generate_window(&noise, 0, 0, 256, 256))
+            black_box(gen.generate(&noise, big_win))
         });
     }
 
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
-    let mut sg = StripGenerator::new(&s, KernelSizing::default(), 64, 5);
+    let mut sg =
+        StripGenerator::new(&s, KernelSizing::default(), 64, 5).with_recorder(rec.clone());
     h.bench_elems("streaming/next_strip_256x64", (256 * 64) as u64, || {
         black_box(sg.next_strip(256))
     });
+
+    let surface = sg.strip_at(0, 256);
+    h.bench_elems("export/snapshot_256x64", (256 * 64) as u64, || {
+        let mut buf = Vec::with_capacity(surface.len() * 8 + 32);
+        rrs_io::try_write_snapshot_observed(&mut buf, &surface, &rec).expect("encode");
+        black_box(buf.len())
+    });
+
+    if obs_on {
+        let report = rec.report();
+        println!("\nstage breakdown (--obs):");
+        for (name, hist) in &report.durations {
+            println!(
+                "  {name:<28} count {:>8}  total {:>12} ns  mean {:>12.0} ns",
+                hist.count,
+                hist.total_ns,
+                hist.mean_ns(),
+            );
+        }
+        for (name, value) in &report.counters {
+            println!("  {name:<28} {value}");
+        }
+        h.attach_section("obs", report.to_json("  "));
+    }
 
     h.finish().expect("write BENCH_generation.json");
 }

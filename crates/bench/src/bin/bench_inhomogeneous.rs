@@ -11,7 +11,7 @@
 //! writes `BENCH_inhomogeneous.json`.
 
 use rrs_bench::Harness;
-use rrs_grid::Grid2;
+use rrs_grid::{Grid2, Window};
 use rrs_inhomo::plate::quadrant_layout;
 use rrs_inhomo::{InhomogeneousGenerator, PointLayout, RepresentativePoint, WeightMap};
 use rrs_spectrum::{SpectrumModel, SurfaceParams};
@@ -78,7 +78,7 @@ fn main() {
     let noise = NoiseField::new(1);
     let hom = ConvolutionGenerator::new(&sm(1.0, 8.0), sizing()).with_workers(1);
     h.bench("inhomo_overhead/homogeneous", || {
-        black_box(hom.generate_window(&noise, 0, 0, N, N))
+        black_box(hom.generate(&noise, Window::sized(N, N)))
     });
 
     let plates = quadrant_layout(
@@ -89,7 +89,7 @@ fn main() {
     );
     let plate_gen = InhomogeneousGenerator::new(plates, sizing()).with_workers(1);
     h.bench("inhomo_overhead/plate_quadrants", || {
-        black_box(plate_gen.generate_window(&noise, 0, 0, N, N))
+        black_box(plate_gen.generate(&noise, Window::sized(N, N)))
     });
 
     let points = PointLayout::new(
@@ -107,7 +107,7 @@ fn main() {
     );
     let point_gen = InhomogeneousGenerator::new(points, sizing()).with_workers(1);
     h.bench("inhomo_overhead/point_ring8", || {
-        black_box(point_gen.generate_window(&noise, 0, 0, N, N))
+        black_box(point_gen.generate(&noise, Window::sized(N, N)))
     });
 
     let noise = NoiseField::new(2);
@@ -124,7 +124,7 @@ fn main() {
 
     let gen = InhomogeneousGenerator::from_kernels(layout.clone(), kernels.clone()).with_workers(1);
     h.bench(&format!("blend_ablation/blend_fields/{N}"), || {
-        black_box(gen.generate_window(&noise, 0, 0, N, N))
+        black_box(gen.generate(&noise, Window::sized(N, N)))
     });
     h.bench(&format!("blend_ablation/blend_kernels_naive/{N}"), || {
         black_box(blend_kernels_naive(&layout, &kernels, &noise, N))

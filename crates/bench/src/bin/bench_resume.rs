@@ -6,18 +6,21 @@
 //! is that per-tile checkpointing is noise next to tile generation.
 //! This suite measures a strip-generation tile alone, the same tile plus
 //! an in-memory checkpoint encode, and the same tile plus a durable
-//! file-backed checkpoint (create + write + flush), and reports the
+//! file-backed checkpoint (create + write + fsync), and reports the
 //! relative overhead. Target: < 2% per tile for the durable variant.
 //!
 //! Run with `cargo run --release -p rrs-bench --bin bench_resume`;
-//! writes `BENCH_resume.json`.
+//! writes `BENCH_resume.json`. Pass `--obs` to time strip generation and
+//! the checkpoint write/fsync stages separately and embed the breakdown
+//! as an `"obs"` section — the write-vs-fsync split is the interesting
+//! figure on most filesystems.
 
-use rrs_io::{write_checkpoint, StreamCheckpoint};
 use rrs_bench::Harness;
+use rrs_io::{write_checkpoint, write_checkpoint_file_observed, StreamCheckpoint};
+use rrs_obs::Recorder;
 use rrs_spectrum::{Gaussian, SurfaceParams};
 use rrs_surface::{KernelSizing, StripGenerator};
 use std::hint::black_box;
-use std::io::Write;
 
 const NY: usize = 256;
 const STRIP_W: usize = 64;
@@ -27,16 +30,20 @@ fn checkpoint_of(sg: &StripGenerator) -> StreamCheckpoint {
 }
 
 fn main() {
+    let obs_on = std::env::args().any(|a| a == "--obs");
+    let rec = if obs_on { Recorder::enabled() } else { Recorder::disabled() };
     let mut h = Harness::new("resume").with_reps(20);
 
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
-    let mut sg = StripGenerator::new(&s, KernelSizing::default(), NY, 11);
+    let mut sg =
+        StripGenerator::new(&s, KernelSizing::default(), NY, 11).with_recorder(rec.clone());
 
     h.bench_elems("resume/strip_only", (NY * STRIP_W) as u64, || {
         black_box(sg.next_strip(STRIP_W))
     });
 
-    let mut sg = StripGenerator::new(&s, KernelSizing::default(), NY, 11);
+    let mut sg =
+        StripGenerator::new(&s, KernelSizing::default(), NY, 11).with_recorder(rec.clone());
     h.bench_elems("resume/strip_plus_mem_checkpoint", (NY * STRIP_W) as u64, || {
         let strip = sg.next_strip(STRIP_W);
         let mut buf = Vec::with_capacity(64);
@@ -46,21 +53,35 @@ fn main() {
 
     let dir = std::env::var("RRS_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let path = format!("{dir}/bench_resume.ckpt");
-    let mut sg = StripGenerator::new(&s, KernelSizing::default(), NY, 11);
+    let mut sg =
+        StripGenerator::new(&s, KernelSizing::default(), NY, 11).with_recorder(rec.clone());
     h.bench_elems("resume/strip_plus_file_checkpoint", (NY * STRIP_W) as u64, || {
         let strip = sg.next_strip(STRIP_W);
-        let mut f = std::fs::File::create(&path).expect("checkpoint file");
-        write_checkpoint(&mut f, &checkpoint_of(&sg)).expect("encode");
-        f.flush().expect("flush");
+        write_checkpoint_file_observed(&path, &checkpoint_of(&sg), &rec).expect("checkpoint");
         black_box(strip)
     });
 
     let sg = StripGenerator::new(&s, KernelSizing::default(), NY, 11);
     h.bench("resume/file_checkpoint_only", || {
-        let mut f = std::fs::File::create(&path).expect("checkpoint file");
-        write_checkpoint(&mut f, &checkpoint_of(&sg)).expect("encode");
-        f.flush().expect("flush");
+        write_checkpoint_file_observed(&path, &checkpoint_of(&sg), &rec).expect("checkpoint");
     });
+
+    if obs_on {
+        let report = rec.report();
+        println!("\nstage breakdown (--obs):");
+        for (name, hist) in &report.durations {
+            println!(
+                "  {name:<28} count {:>8}  total {:>12} ns  mean {:>12.0} ns",
+                hist.count,
+                hist.total_ns,
+                hist.mean_ns(),
+            );
+        }
+        for (name, value) in &report.counters {
+            println!("  {name:<28} {value}");
+        }
+        h.attach_section("obs", report.to_json("  "));
+    }
 
     let records = h.finish().expect("write BENCH_resume.json");
     let _ = std::fs::remove_file(&path);

@@ -13,6 +13,7 @@
 //! keeps a laptop run in seconds while preserving every shape.
 
 use rrs_bench::figures::{fig1, fig2, fig3, fig4, Figure};
+use rrs_grid::Window;
 use rrs_spectrum::{
     verify_weight_dft, Exponential, Gaussian, GridSpec, PowerLaw, SurfaceParams,
 };
@@ -239,7 +240,7 @@ fn claim_c2(seed: u64) {
     for r in 0..reps {
         m_direct.push_all(direct.generate(seed + r).as_slice());
         m_conv
-            .push_all(conv.generate_window(&NoiseField::new(seed + r), 0, 0, n, n).as_slice());
+            .push_all(conv.generate(&NoiseField::new(seed + r), Window::sized(n, n)).as_slice());
     }
     println!("{:<14} {:>10} {:>10} {:>10}", "method", "mean", "h_hat", "kurtosis");
     for (name, m) in [("direct DFT", m_direct), ("convolution", m_conv)] {
@@ -270,12 +271,12 @@ fn claim_c3(seed: u64) {
         let full_extent = kernel.extent();
         let t0 = Instant::now();
         let _ = ConvolutionGenerator::from_kernel(kernel.clone())
-            .generate_window(&noise, 0, 0, n, n);
+            .generate(&noise, Window::sized(n, n));
         let t_full = t0.elapsed();
         let trunc = kernel.truncated(1e-2);
         let t1 = Instant::now();
         let _ =
-            ConvolutionGenerator::from_kernel(trunc).generate_window(&noise, 0, 0, n, n);
+            ConvolutionGenerator::from_kernel(trunc).generate(&noise, Window::sized(n, n));
         let t_trunc = t1.elapsed();
         println!(
             "{:>6} {:>7}x{:<4} {:>14.2?} {:>14.2?}",

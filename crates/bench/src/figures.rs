@@ -6,7 +6,7 @@
 //! the paper lost decimal points; the reconstructed parameters are
 //! documented in EXPERIMENTS.md §Assumed parameters.
 
-use rrs_grid::Grid2;
+use rrs_grid::{Grid2, Window};
 use rrs_inhomo::{
     InhomogeneousGenerator, Plate, PlateLayout, PointLayout, Region, RepresentativePoint,
     WeightMap,
@@ -51,12 +51,9 @@ pub struct Figure {
 impl Figure {
     /// Generates the figure's surface.
     pub fn generate(&self) -> Grid2<f64> {
-        self.generator.generate_window(
+        self.generator.generate(
             &NoiseField::new(self.seed),
-            self.origin.0,
-            self.origin.1,
-            self.nx,
-            self.ny,
+            Window::new(self.origin.0, self.origin.1, self.nx, self.ny),
         )
     }
 
@@ -80,12 +77,9 @@ impl Figure {
         let mut per_region: Vec<Vec<RegionReport>> =
             vec![Vec::with_capacity(reps as usize); self.regions.len()];
         for seed in self.seed..self.seed + reps {
-            let surface = self.generator.generate_window(
+            let surface = self.generator.generate(
                 &NoiseField::new(seed),
-                self.origin.0,
-                self.origin.1,
-                self.nx,
-                self.ny,
+                Window::new(self.origin.0, self.origin.1, self.nx, self.ny),
             );
             for (i, r) in self.regions.iter().enumerate() {
                 let (x0, y0, w, h) = r.window;

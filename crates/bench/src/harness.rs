@@ -49,6 +49,7 @@ pub struct Harness {
     warmup: u64,
     reps: u64,
     records: Vec<BenchRecord>,
+    sections: Vec<(String, String)>,
 }
 
 fn env_u64(key: &str) -> Option<u64> {
@@ -63,6 +64,7 @@ impl Harness {
             warmup: env_u64("RRS_BENCH_WARMUP").unwrap_or(3),
             reps: env_u64("RRS_BENCH_REPS").unwrap_or(10).max(1),
             records: Vec::new(),
+            sections: Vec::new(),
         }
     }
 
@@ -131,12 +133,23 @@ impl Harness {
         self.records.push(record);
     }
 
+    /// Attaches an extra top-level JSON section to the suite report —
+    /// `value` must already be rendered JSON (object, array or scalar).
+    /// Used by the `--obs` bench modes to embed the stage-breakdown
+    /// [`rrs_obs::report::ObsReport`] next to the timing records.
+    pub fn attach_section(&mut self, key: &str, value: String) {
+        self.sections.push((key.to_string(), value));
+    }
+
     /// Writes `BENCH_<suite>.json` into the current directory (or
     /// `RRS_BENCH_DIR` when set) and returns the records.
     pub fn finish(self) -> std::io::Result<Vec<BenchRecord>> {
         let dir = std::env::var("RRS_BENCH_DIR").unwrap_or_else(|_| ".".into());
         let path = format!("{dir}/BENCH_{}.json", self.suite);
-        std::fs::write(&path, to_json(&self.suite, self.warmup, &self.records))?;
+        std::fs::write(
+            &path,
+            to_json(&self.suite, self.warmup, &self.records, &self.sections),
+        )?;
         println!("\nwrote {path}");
         Ok(self.records)
     }
@@ -160,7 +173,12 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn to_json(suite: &str, warmup: u64, records: &[BenchRecord]) -> String {
+fn to_json(
+    suite: &str,
+    warmup: u64,
+    records: &[BenchRecord],
+    sections: &[(String, String)],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"suite\": \"{}\",\n", json_escape(suite)));
@@ -181,7 +199,16 @@ fn to_json(suite: &str, warmup: u64, records: &[BenchRecord]) -> String {
             if i + 1 == records.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    if sections.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n");
+        for (i, (key, value)) in sections.iter().enumerate() {
+            let sep = if i + 1 == sections.len() { "" } else { "," };
+            out.push_str(&format!("  \"{}\": {value}{sep}\n", json_escape(key)));
+        }
+        out.push_str("}\n");
+    }
     out
 }
 
@@ -211,13 +238,20 @@ mod tests {
             stddev_ns: 0.5,
             elements: Some(64),
         }];
-        let j = to_json("unit", 2, &records);
+        let j = to_json("unit", 2, &records, &[]);
         assert!(j.contains("\"suite\": \"unit\""));
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"elements\": 64"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        // Attached sections land as additional top-level keys and keep
+        // the document balanced.
+        let sections = vec![("obs".to_string(), "{\"counters\": {}}".to_string())];
+        let j = to_json("unit", 2, &records, &sections);
+        assert!(j.contains("\"obs\": {\"counters\": {}}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -63,7 +63,12 @@ pub enum ErrorKind {
 }
 
 /// The workspace-wide error type.
+///
+/// `#[non_exhaustive]`: new failure classes may be added as the pipeline
+/// grows (the fallible-core PR added several), so downstream matches
+/// need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RrsError {
     /// A caller-supplied parameter lies outside its valid domain.
     ///

@@ -15,7 +15,9 @@
 
 pub mod grid;
 pub mod profile;
+pub mod window;
 
 pub use grid::Grid2;
 pub use profile::{extract_column, extract_profile, extract_row, Profile};
 pub use rrs_error::RrsError;
+pub use window::Window;

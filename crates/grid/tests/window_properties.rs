@@ -1,0 +1,93 @@
+//! Property-based accept/reject domain tests for `Window::try_new`
+//! (rrs-check harness).
+
+use rrs_check::any;
+use rrs_grid::Window;
+
+rrs_check::props! {
+    #![cases = 256]
+
+    fn in_domain_requests_are_accepted(
+        x0 in -1_000_000i64..1_000_000,
+        y0 in -1_000_000i64..1_000_000,
+        nx in 1usize..4096,
+        ny in 1usize..4096,
+    ) {
+        let w = Window::try_new(x0, y0, nx, ny).expect("in-domain window");
+        assert_eq!((w.x0, w.y0, w.nx, w.ny), (x0, y0, nx, ny));
+        assert_eq!(w.shape(), (nx, ny));
+        assert_eq!(w.len(), nx * ny);
+        assert_eq!(w.x_end() - w.x0, nx as i64);
+        assert_eq!(w.y_end() - w.y0, ny as i64);
+        // try_new and the panicking wrapper agree on the accept domain.
+        assert_eq!(w, Window::new(x0, y0, nx, ny));
+    }
+
+    fn empty_extents_are_rejected(
+        x0 in -1_000_000i64..1_000_000,
+        y0 in -1_000_000i64..1_000_000,
+        n in 0usize..64,
+        kill_x in any::<bool>(),
+    ) {
+        let (nx, ny) = if kill_x { (0, n) } else { (n, 0) };
+        let err = Window::try_new(x0, y0, nx, ny).expect_err("empty window");
+        assert_eq!(err.kind(), rrs_error::ErrorKind::InvalidParam);
+        assert!(err.to_string().contains("non-empty"), "{err}");
+    }
+
+    fn far_edge_overflow_is_rejected(
+        slack in 0u64..1024,
+        extra in 1usize..4096,
+        ny in 1usize..64,
+    ) {
+        // Put the origin within `slack` of the lattice edge and ask for
+        // `slack + extra` samples: the far edge always overflows i64.
+        let x0 = i64::MAX - slack as i64;
+        let nx = slack as usize + extra;
+        let err = Window::try_new(x0, 0, nx, ny).expect_err("overflowing window");
+        assert_eq!(err.kind(), rrs_error::ErrorKind::InvalidParam);
+        assert!(err.to_string().contains("overflows"), "{err}");
+        // The y axis is validated by the same rule.
+        assert!(Window::try_new(0, i64::MAX - slack as i64, ny, nx).is_err());
+    }
+
+    fn boundary_windows_touching_the_edge_are_accepted(
+        nx in 1usize..4096,
+        ny in 1usize..4096,
+    ) {
+        // Far edge exactly at i64::MAX is representable, hence valid.
+        let w = Window::try_new(i64::MAX - nx as i64, i64::MAX - ny as i64, nx, ny)
+            .expect("edge-touching window");
+        assert_eq!(w.x_end(), i64::MAX);
+        assert_eq!(w.y_end(), i64::MAX);
+    }
+
+    fn containment_matches_the_half_open_definition(
+        x0 in -1000i64..1000,
+        y0 in -1000i64..1000,
+        nx in 1usize..32,
+        ny in 1usize..32,
+        px in -1100i64..1100,
+        py in -1100i64..1100,
+    ) {
+        let w = Window::try_new(x0, y0, nx, ny).unwrap();
+        let expect = px >= x0 && px < x0 + nx as i64 && py >= y0 && py < y0 + ny as i64;
+        assert_eq!(w.contains(px, py), expect);
+    }
+
+    fn translation_is_additive_and_reversible(
+        x0 in -1000i64..1000,
+        y0 in -1000i64..1000,
+        nx in 1usize..32,
+        ny in 1usize..32,
+        dx in -5000i64..5000,
+        dy in -5000i64..5000,
+    ) {
+        let w = Window::try_new(x0, y0, nx, ny).unwrap();
+        let t = w.translated(dx, dy);
+        assert_eq!(t.shape(), w.shape());
+        assert_eq!(t.x0 - w.x0, dx);
+        assert_eq!(t.y0 - w.y0, dy);
+        assert_eq!(t.translated(-dx, -dy), w);
+    }
+}

@@ -13,7 +13,8 @@
 //! homogeneous-kernel dot product.
 
 use rrs_error::RrsError;
-use rrs_grid::Grid2;
+use rrs_grid::{Grid2, Window};
+use rrs_obs::{stage, Recorder};
 use rrs_spectrum::SpectrumModel;
 use rrs_surface::{ConvolutionKernel, KernelSizing, NoiseField};
 
@@ -48,6 +49,7 @@ pub struct InhomogeneousGenerator<M> {
     map: M,
     kernels: Vec<ConvolutionKernel>,
     workers: usize,
+    obs: Recorder,
     // Precomputed reaches for noise-window sizing.
     reach_left: i64,
     reach_right: i64,
@@ -129,6 +131,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             map,
             kernels,
             workers: rrs_par::default_workers(),
+            obs: Recorder::disabled(),
             reach_left,
             reach_right,
             reach_down,
@@ -142,6 +145,20 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         self
     }
 
+    /// Attaches a recorder: window materialisation and the blending loop
+    /// are timed, and the kernel-selection mix is counted
+    /// (`inhomo/pure_samples`, `inhomo/blended_samples`,
+    /// `inhomo/kernel_evals`). Observation never changes output.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
     /// The kernels, in map order.
     pub fn kernels(&self) -> &[ConvolutionKernel] {
         &self.kernels
@@ -152,12 +169,78 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         &self.map
     }
 
-    /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
-    /// inhomogeneous surface driven by `noise`. Windows tile seamlessly.
+    /// Fallible [`InhomogeneousGenerator::generate`]: reports worker
+    /// panics as [`RrsError::WorkerPanicked`] instead of propagating the
+    /// unwind.
+    pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
+        let Window { x0, y0, nx, ny } = win;
+        let wx0 = x0 - self.reach_left;
+        let wy0 = y0 - self.reach_down;
+        let ww = nx + (self.reach_left + self.reach_right) as usize;
+        let wh = ny + (self.reach_down + self.reach_up) as usize;
+        let span = self.obs.start(stage::WINDOW_MATERIALISE);
+        let noise_win = noise.window(wx0, wy0, ww, wh);
+        self.obs.finish(span);
+
+        let mut out = Grid2::zeros(nx, ny);
+        let out_slice = out.as_mut_slice();
+        let span = self.obs.start(stage::CORRELATE);
+        rrs_par::try_par_row_chunks_mut_observed(
+            out_slice,
+            nx,
+            self.workers,
+            &self.obs,
+            |iy0, chunk| {
+                let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
+                let mut pure = 0u64;
+                let mut blended = 0u64;
+                let mut evals = 0u64;
+                for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
+                    let iy = iy0 + row_off;
+                    let gy = y0 + iy as i64;
+                    for (ix, slot) in row.iter_mut().enumerate() {
+                        let gx = x0 + ix as i64;
+                        self.map.weights_at(gx as f64, gy as f64, &mut weights);
+                        let mut acc = 0.0;
+                        for &(ki, g) in &weights {
+                            acc += g * self.kernel_dot(ki, &noise_win, ww, gx - wx0, gy - wy0);
+                        }
+                        *slot = acc;
+                        if weights.len() > 1 {
+                            blended += 1;
+                        } else {
+                            pure += 1;
+                        }
+                        evals += weights.len() as u64;
+                    }
+                }
+                let mut shard = self.obs.shard();
+                shard.add(stage::INHOMO_PURE_SAMPLES, pure);
+                shard.add(stage::INHOMO_BLENDED_SAMPLES, blended);
+                shard.add(stage::INHOMO_KERNEL_EVALS, evals);
+                self.obs.absorb(shard);
+            },
+        )?;
+        self.obs.finish(span);
+        Ok(out)
+    }
+
+    /// Generates the surface samples requested by `win` from the
+    /// unbounded inhomogeneous surface driven by `noise`. Windows tile
+    /// seamlessly.
     ///
     /// # Panics
-    /// Panics if the window is empty. Fallible callers use
-    /// [`InhomogeneousGenerator::try_generate_window`].
+    /// Panics if a worker panics. Fallible callers use
+    /// [`InhomogeneousGenerator::try_generate`].
+    pub fn generate(&self, noise: &NoiseField, win: Window) -> Grid2<f64> {
+        self.try_generate(noise, win).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Positional form of [`InhomogeneousGenerator::generate`].
+    ///
+    /// # Panics
+    /// Panics if the window is empty.
+    #[deprecated(note = "use generate(noise, Window)")]
     pub fn generate_window(
         &self,
         noise: &NoiseField,
@@ -166,12 +249,12 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         nx: usize,
         ny: usize,
     ) -> Grid2<f64> {
-        self.try_generate_window(noise, x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"))
+        let win = Window::try_new(x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"));
+        self.generate(noise, win)
     }
 
-    /// Fallible [`InhomogeneousGenerator::generate_window`]: rejects
-    /// empty windows and reports worker panics as
-    /// [`RrsError::WorkerPanicked`] instead of propagating the unwind.
+    /// Positional form of [`InhomogeneousGenerator::try_generate`].
+    #[deprecated(note = "use try_generate(noise, Window)")]
     pub fn try_generate_window(
         &self,
         noise: &NoiseField,
@@ -180,37 +263,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         nx: usize,
         ny: usize,
     ) -> Result<Grid2<f64>, RrsError> {
-        if nx == 0 || ny == 0 {
-            return Err(RrsError::invalid_param(
-                "nx,ny",
-                format!("window must be non-empty, got {nx}x{ny}"),
-            ));
-        }
-        let wx0 = x0 - self.reach_left;
-        let wy0 = y0 - self.reach_down;
-        let ww = nx + (self.reach_left + self.reach_right) as usize;
-        let wh = ny + (self.reach_down + self.reach_up) as usize;
-        let win = noise.window(wx0, wy0, ww, wh);
-
-        let mut out = Grid2::zeros(nx, ny);
-        let out_slice = out.as_mut_slice();
-        rrs_par::try_par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
-            let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
-            for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
-                let iy = iy0 + row_off;
-                let gy = y0 + iy as i64;
-                for (ix, slot) in row.iter_mut().enumerate() {
-                    let gx = x0 + ix as i64;
-                    self.map.weights_at(gx as f64, gy as f64, &mut weights);
-                    let mut acc = 0.0;
-                    for &(ki, g) in &weights {
-                        acc += g * self.kernel_dot(ki, &win, ww, gx - wx0, gy - wy0);
-                    }
-                    *slot = acc;
-                }
-            }
-        })?;
-        Ok(out)
+        self.try_generate(noise, Window::try_new(x0, y0, nx, ny)?)
     }
 
     /// Evaluates `(w̃_ki ⊛ X)(n)` for the sample at window-local
@@ -238,15 +291,6 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         acc
     }
 
-    /// Convenience: generate the `[0, nx) × [0, ny)` window from a seed.
-    pub fn generate(&self, seed: u64, nx: usize, ny: usize) -> Grid2<f64> {
-        self.generate_window(&NoiseField::new(seed), 0, 0, nx, ny)
-    }
-
-    /// Fallible [`InhomogeneousGenerator::generate`].
-    pub fn try_generate(&self, seed: u64, nx: usize, ny: usize) -> Result<Grid2<f64>, RrsError> {
-        self.try_generate_window(&NoiseField::new(seed), 0, 0, nx, ny)
-    }
 }
 
 #[cfg(test)]
@@ -276,8 +320,8 @@ mod tests {
             .with_workers(1);
         let hom = rrs_surface::ConvolutionGenerator::from_kernel(kernel).with_workers(1);
         let noise = NoiseField::new(7);
-        let a = inh.generate_window(&noise, -3, 4, 40, 24);
-        let b = hom.generate_window(&noise, -3, 4, 40, 24);
+        let a = inh.generate(&noise, Window::new(-3, 4, 40, 24));
+        let b = hom.generate(&noise, Window::new(-3, 4, 40, 24));
         let err = a
             .as_slice()
             .iter()
@@ -298,7 +342,7 @@ mod tests {
             8.0,
         );
         let gen = InhomogeneousGenerator::new(layout, sizing());
-        let f = gen.generate(3, n, n);
+        let f = gen.generate(&NoiseField::new(3), Window::sized(n, n));
         // Estimate h deep inside each quadrant (margin avoids transitions).
         let m = 24usize;
         let h_q1 = f.window(n / 2 + m, n / 2 + m, n / 2 - 2 * m, n / 2 - 2 * m).std_dev();
@@ -324,8 +368,8 @@ mod tests {
         );
         let gen = InhomogeneousGenerator::new(layout, sizing()).with_workers(2);
         let noise = NoiseField::new(9);
-        let whole = gen.generate_window(&noise, 0, 0, 64, 64);
-        let part = gen.generate_window(&noise, 16, 24, 32, 20);
+        let whole = gen.generate(&noise, Window::sized(64, 64));
+        let part = gen.generate(&noise, Window::new(16, 24, 32, 20));
         for iy in 0..20 {
             for ix in 0..32 {
                 assert_eq!(*part.get(ix, iy), *whole.get(ix + 16, iy + 24));
@@ -348,10 +392,10 @@ mod tests {
             .collect();
         let a = InhomogeneousGenerator::from_kernels(layout.clone(), k.clone())
             .with_workers(1)
-            .generate(5, 48, 48);
+            .generate(&NoiseField::new(5), Window::sized(48, 48));
         let b = InhomogeneousGenerator::from_kernels(layout, k)
             .with_workers(6)
-            .generate(5, 48, 48);
+            .generate(&NoiseField::new(5), Window::sized(48, 48));
         assert_eq!(a, b);
     }
 
@@ -364,7 +408,7 @@ mod tests {
         };
         let layout = PlateLayout::new(vec![pond], Some(sm(1.0, 6.0)), 10.0);
         let gen = InhomogeneousGenerator::new(layout, sizing());
-        let f = gen.generate(11, 128, 128);
+        let f = gen.generate(&NoiseField::new(11), Window::sized(128, 128));
         let inside = f.window(52, 52, 24, 24).std_dev();
         let outside = f.window(0, 0, 24, 24).std_dev();
         assert!(inside < 0.5, "pond ĥ = {inside}");
@@ -379,7 +423,7 @@ mod tests {
         ];
         let layout = PointLayout::new(pts, 12.0);
         let gen = InhomogeneousGenerator::new(layout, sizing());
-        let f = gen.generate_window(&NoiseField::new(17), -48, -48, 192, 96);
+        let f = gen.generate(&NoiseField::new(17), Window::new(-48, -48, 192, 96));
         // Cell of point 0: x in [-48, 36) roughly; stay well clear of the
         // bisector at x = 48 (window-local 96).
         let left = f.window(8, 8, 64, 80).std_dev();
@@ -399,7 +443,7 @@ mod tests {
         };
         let layout = PlateLayout::new(vec![left], Some(sm(2.0, 4.0)), 16.0);
         let gen = InhomogeneousGenerator::new(layout, sizing());
-        let f = gen.generate(23, 128, 256);
+        let f = gen.generate(&NoiseField::new(23), Window::sized(128, 256));
         // Column-band std profile along x.
         let band = 8usize;
         let mut profile = Vec::new();
@@ -421,5 +465,41 @@ mod tests {
     fn kernel_count_mismatch_rejected() {
         let layout = PlateLayout::new(vec![], Some(sm(1.0, 4.0)), 1.0);
         let _ = InhomogeneousGenerator::from_kernels(layout, vec![]);
+    }
+
+    #[test]
+    fn recorder_counts_kernel_selection_without_changing_output() {
+        // Two half-plane plates with a transition band: most samples are
+        // pure, the band is blended, and every sample costs ≥ 1 eval.
+        let left = Plate {
+            region: Region::HalfPlane { a: 1.0, b: 0.0, c: 24.0 },
+            spectrum: sm(0.5, 3.0),
+        };
+        let layout = PlateLayout::new(vec![left], Some(sm(1.5, 3.0)), 8.0);
+        let sizing = KernelSizing::Explicit(rrs_spectrum::GridSpec::unit(16, 16));
+        let k: Vec<_> = layout
+            .spectra()
+            .iter()
+            .map(|s| ConvolutionKernel::build(s, sizing))
+            .collect();
+        let plain = InhomogeneousGenerator::from_kernels(layout.clone(), k.clone())
+            .with_workers(2);
+        let rec = Recorder::enabled();
+        let observed = InhomogeneousGenerator::from_kernels(layout, k)
+            .with_workers(2)
+            .with_recorder(rec.clone());
+        let noise = NoiseField::new(31);
+        let win = Window::sized(48, 32);
+        assert_eq!(plain.generate(&noise, win), observed.generate(&noise, win));
+        let report = rec.report();
+        let pure = report.counter(stage::INHOMO_PURE_SAMPLES);
+        let blended = report.counter(stage::INHOMO_BLENDED_SAMPLES);
+        let evals = report.counter(stage::INHOMO_KERNEL_EVALS);
+        assert_eq!(pure + blended, 48 * 32);
+        assert!(blended > 0, "the transition band must blend");
+        assert!(pure > blended, "the bulk must stay pure");
+        assert_eq!(evals, pure + 2 * blended);
+        assert!(report.durations.contains_key(stage::WINDOW_MATERIALISE));
+        assert!(report.durations.contains_key(stage::CORRELATE));
     }
 }

@@ -13,7 +13,11 @@ use rrs_error::RrsError;
 use rrs_spectrum::SpectrumModel;
 
 /// Shape of the membership ramp across the transition strip.
+///
+/// `#[non_exhaustive]`: future profiles (e.g. cosine) may be added
+/// without a major break, so match with a wildcard arm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TransitionProfile {
     /// The paper's linear interpolation (eqns 38–39).
     #[default]

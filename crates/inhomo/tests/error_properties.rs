@@ -90,7 +90,8 @@ props! {
         let layout = PlateLayout::new(vec![], Some(sm(1.0, 3.0)), 1.0);
         let sizing = KernelSizing::Explicit(GridSpec::unit(16, 16));
         let gen = InhomogeneousGenerator::new(layout, sizing).with_workers(1);
-        match gen.try_generate(seed, nx, ny) {
+        let noise = rrs_surface::NoiseField::new(seed);
+        match rrs_grid::Window::try_new(0, 0, nx, ny).and_then(|w| gen.try_generate(&noise, w)) {
             Ok(g) => {
                 assert!(nx > 0 && ny > 0);
                 assert_eq!(g.shape(), (nx, ny));

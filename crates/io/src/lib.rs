@@ -31,11 +31,17 @@ pub mod gnuplot;
 pub mod image;
 pub mod snapshot;
 
-pub use checkpoint::{read_checkpoint, write_checkpoint, StreamCheckpoint};
+pub use checkpoint::{
+    read_checkpoint, read_checkpoint_file, write_checkpoint, write_checkpoint_file,
+    write_checkpoint_file_observed, StreamCheckpoint,
+};
 pub use csv::{
     read_matrix_csv, try_write_matrix_csv, try_write_xyz_csv, write_matrix_csv, write_xyz_csv,
 };
 pub use gnuplot::write_gnuplot_matrix;
 pub use image::{try_write_pgm, try_write_ppm, write_pgm, write_ppm};
 pub use rrs_error::RrsError;
-pub use snapshot::{read_snapshot, try_read_snapshot, try_write_snapshot, write_snapshot};
+pub use snapshot::{
+    read_snapshot, try_read_snapshot, try_write_snapshot, try_write_snapshot_observed,
+    write_snapshot,
+};

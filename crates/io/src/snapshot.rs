@@ -17,6 +17,7 @@
 
 use rrs_error::RrsError;
 use rrs_grid::Grid2;
+use rrs_obs::{stage, Recorder};
 use std::io::{self, Read, Write};
 
 /// The 8-byte magic prefix identifying a snapshot stream (format v1).
@@ -54,6 +55,16 @@ pub fn try_write_snapshot<W: Write>(mut w: W, grid: &Grid2<f64>) -> Result<(), R
     buf.extend_from_slice(&crc.to_le_bytes());
     w.write_all(&buf)?;
     Ok(())
+}
+
+/// [`try_write_snapshot`] with the whole export (serialise + write)
+/// timed as one `export/snapshot` observation.
+pub fn try_write_snapshot_observed<W: Write>(
+    w: W,
+    grid: &Grid2<f64>,
+    obs: &Recorder,
+) -> Result<(), RrsError> {
+    obs.time(stage::EXPORT_SNAPSHOT, || try_write_snapshot(w, grid))
 }
 
 pub(crate) fn read_u64_le(buf: &[u8], at: usize) -> u64 {

@@ -1,0 +1,174 @@
+//! Power-of-two duration histograms.
+//!
+//! Bucketing uses the bit width of the nanosecond count: a duration of
+//! `ns` nanoseconds lands in bucket `64 − ns.leading_zeros()`, i.e. bucket
+//! `k` covers `[2^(k−1), 2^k − 1]` ns (bucket 0 holds exact zeros). The
+//! scheme needs no configuration, costs one `leading_zeros` per record,
+//! and spans sub-microsecond span bookkeeping up to multi-minute stages
+//! with [`BUCKETS`] fixed-size counters.
+
+/// Number of histogram buckets. Bucket `BUCKETS − 1` absorbs everything
+/// at or above `2^(BUCKETS−2)` ns (≈ 9 minutes), far beyond any stage
+/// this workspace times.
+pub const BUCKETS: usize = 40;
+
+/// Returns the bucket index for a duration of `ns` nanoseconds.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound, in nanoseconds, of bucket `index`
+/// (`u64::MAX` for the overflow bucket).
+pub fn bucket_upper_ns(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// An aggregated set of duration observations for one stage name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DurationHist {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, in nanoseconds (saturating).
+    pub total_ns: u64,
+    /// Shortest recorded duration.
+    pub min_ns: u64,
+    /// Longest recorded duration.
+    pub max_ns: u64,
+    /// Power-of-two bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for DurationHist {
+    fn default() -> Self {
+        Self { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl DurationHist {
+    /// Records one duration of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHist) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The non-empty buckets as `(inclusive_upper_bound_ns, count)` pairs,
+    /// in ascending bound order — the export shape.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_ns(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_uppers() {
+        assert_eq!(bucket_upper_ns(0), 0);
+        assert_eq!(bucket_upper_ns(1), 1);
+        assert_eq!(bucket_upper_ns(2), 3);
+        assert_eq!(bucket_upper_ns(10), 1023);
+        assert_eq!(bucket_upper_ns(BUCKETS - 1), u64::MAX);
+        // Every representable ns lands in the bucket whose bound covers it.
+        for ns in [0u64, 1, 2, 3, 100, 1 << 20, 1 << 39] {
+            let i = bucket_index(ns);
+            assert!(ns <= bucket_upper_ns(i), "ns={ns} bucket={i}");
+            if i > 0 {
+                assert!(ns > bucket_upper_ns(i - 1), "ns={ns} bucket={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = DurationHist::default();
+        for ns in [5u64, 100, 2] {
+            h.record(ns);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.total_ns, 107);
+        assert_eq!(h.min_ns, 2);
+        assert_eq!(h.max_ns, 100);
+        assert!((h.mean_ns() - 107.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_record() {
+        let mut a = DurationHist::default();
+        let mut b = DurationHist::default();
+        let mut whole = DurationHist::default();
+        for (i, ns) in [3u64, 9, 0, 1 << 30, 77].iter().enumerate() {
+            whole.record(*ns);
+            if i % 2 == 0 { a.record(*ns) } else { b.record(*ns) }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging an empty histogram is a no-op (min stays intact).
+        let before = a.clone();
+        a.merge(&DurationHist::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sparse_and_sorted() {
+        let mut h = DurationHist::default();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(0, 1), (7, 2)]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Point-in-time snapshots of a [`crate::Recorder`] and their JSON form.
+//!
+//! The exporter speaks the same dialect as the workspace's `BENCH_*.json`
+//! files (hand-emitted, two-space indent, stable key order), so a report
+//! can be embedded verbatim as a section of a bench file or written on its
+//! own. Names are workspace-controlled `group/label` identifiers, so the
+//! only escaping needed is backslash/quote.
+
+use crate::hist::DurationHist;
+use std::collections::BTreeMap;
+
+/// An immutable snapshot of everything a recorder has aggregated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsReport {
+    /// Named event counts, sorted by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Named duration histograms, sorted by name.
+    pub durations: BTreeMap<&'static str, DurationHist>,
+}
+
+impl ObsReport {
+    /// True when nothing was recorded (or the recorder was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.durations.is_empty()
+    }
+
+    /// Total recorded time for `name` in nanoseconds, 0 when absent.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.durations.get(name).map_or(0, |h| h.total_ns)
+    }
+
+    /// Counter value for `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serialises the report as a JSON object. `indent` is prepended to
+    /// every line after the first, so the value can be embedded at any
+    /// nesting depth of a hand-emitted file.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut out = String::from("{\n");
+        let inner = format!("{indent}  ");
+        out.push_str(&format!("{inner}\"counters\": {{"));
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n{inner}  \"{}\": {value}", json_escape(name)));
+        }
+        if self.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str(&format!("\n{inner}}},\n"));
+        }
+        out.push_str(&format!("{inner}\"durations\": {{"));
+        let mut first = true;
+        for (name, h) in &self.durations {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(le, c)| format!("[{le}, {c}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n{inner}  \"{}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"mean_ns\": {:.1}, \"buckets\": [{buckets}]}}",
+                json_escape(name),
+                h.count,
+                h.total_ns,
+                if h.count == 0 { 0 } else { h.min_ns },
+                h.max_ns,
+                h.mean_ns(),
+            ));
+        }
+        if self.durations.is_empty() {
+            out.push_str("}\n");
+        } else {
+            out.push_str(&format!("\n{inner}}}\n"));
+        }
+        out.push_str(&format!("{indent}}}"));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObsReport {
+        let mut r = ObsReport::default();
+        r.counters.insert("correlate/samples", 4096);
+        r.counters.insert("par/bands", 4);
+        let mut h = DurationHist::default();
+        h.record(1000);
+        h.record(3000);
+        r.durations.insert("correlate/inner", h);
+        r
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let j = sample().to_json("");
+        assert!(j.contains("\"counters\""));
+        assert!(j.contains("\"correlate/samples\": 4096"));
+        assert!(j.contains("\"par/bands\": 4"));
+        assert!(j.contains("\"correlate/inner\""));
+        assert!(j.contains("\"count\": 2"));
+        assert!(j.contains("\"total_ns\": 4000"));
+        assert!(j.contains("\"min_ns\": 1000"));
+        assert!(j.contains("\"max_ns\": 3000"));
+        assert!(j.contains("\"mean_ns\": 2000.0"));
+        assert!(j.contains("\"buckets\": [[1023, 1], [4095, 1]]"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_object() {
+        let j = ObsReport::default().to_json("    ");
+        assert!(j.starts_with('{'));
+        assert!(j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn indent_prefixes_every_continuation_line() {
+        let j = sample().to_json("      ");
+        for line in j.lines().skip(1) {
+            assert!(line.starts_with("      "), "unindented line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let r = sample();
+        assert_eq!(r.counter("correlate/samples"), 4096);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.total_ns("correlate/inner"), 4000);
+        assert_eq!(r.total_ns("absent"), 0);
+        assert!(!r.is_empty());
+        assert!(ObsReport::default().is_empty());
+    }
+}

@@ -30,10 +30,19 @@
 //!   partition *serially* after a parallel-band panic. The retry visits
 //!   the same static bands in order, so a successful retry is bit-exactly
 //!   the surface an all-parallel (or all-serial) run would have produced.
+//!
+//! # Observability
+//!
+//! The row-band primitives have `_observed` twins taking an
+//! [`rrs_obs::Recorder`]: bands executed, worker panics and serial
+//! fallbacks are reported as `par/*` counters. With a
+//! [`Recorder::disabled`] recorder the twins are the plain primitives —
+//! no clock reads, no locks.
 
 #![warn(missing_docs)]
 
 use rrs_error::RrsError;
+use rrs_obs::{stage, ObsSink, Recorder};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -216,6 +225,26 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    try_par_row_chunks_mut_observed(data, row_len, workers, &Recorder::disabled(), f)
+}
+
+/// [`try_par_row_chunks_mut`] with execution events reported to `obs`:
+/// every band that runs increments [`stage::PAR_BANDS`] and every band
+/// whose closure panics increments [`stage::PAR_WORKER_PANICS`] (the
+/// returned error still names only the lowest-indexed failure). A
+/// [`Recorder::disabled`] recorder makes this identical to the plain
+/// form.
+pub fn try_par_row_chunks_mut_observed<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    workers: usize,
+    obs: &Recorder,
+    f: F,
+) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     if row_len == 0 {
         return Err(RrsError::invalid_param("row_len", "row_len must be positive, got 0"));
     }
@@ -233,9 +262,14 @@ where
     let workers = workers.max(1).min(rows);
     let rows_per_band = rows.div_ceil(workers);
     if workers == 1 {
-        return run_caught(0, data, &f).map_err(rename_band_to_row(0));
+        obs.add_counter(stage::PAR_BANDS, 1);
+        return run_caught(0, data, &f).map_err(rename_band_to_row(0)).inspect_err(|_| {
+            obs.add_counter(stage::PAR_WORKER_PANICS, 1);
+        });
     }
     let mut first: Option<RrsError> = None;
+    let mut bands = 0u64;
+    let mut panics = 0u64;
     scope(|s| {
         let handles: Vec<_> = data
             .chunks_mut(rows_per_band * row_len)
@@ -248,12 +282,20 @@ where
             })
             .collect();
         for h in handles {
+            bands += 1;
             let r = h.join().expect("worker closures are panic-contained");
-            if let (Err(e), None) = (r, first.as_ref()) {
-                first = Some(e);
+            if let Err(e) = r {
+                panics += 1;
+                if first.is_none() {
+                    first = Some(e);
+                }
             }
         }
     });
+    obs.add_counter(stage::PAR_BANDS, bands);
+    if panics > 0 {
+        obs.add_counter(stage::PAR_WORKER_PANICS, panics);
+    }
     first.map_or(Ok(()), Err)
 }
 
@@ -288,9 +330,29 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    match try_par_row_chunks_mut(data, row_len, workers, &f) {
+    par_row_chunks_mut_with_fallback_observed(data, row_len, workers, &Recorder::disabled(), f)
+}
+
+/// [`par_row_chunks_mut_with_fallback`] with execution events reported to
+/// `obs`: band and panic counters as in
+/// [`try_par_row_chunks_mut_observed`], plus one
+/// [`stage::PAR_SERIAL_FALLBACKS`] tick each time a parallel panic
+/// triggers the serial retry.
+pub fn par_row_chunks_mut_with_fallback_observed<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    workers: usize,
+    obs: &Recorder,
+    f: F,
+) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    match try_par_row_chunks_mut_observed(data, row_len, workers, obs, &f) {
         Ok(()) => Ok(()),
         Err(RrsError::WorkerPanicked { band: failed, .. }) => {
+            obs.add_counter(stage::PAR_SERIAL_FALLBACKS, 1);
             // Serial retry over the identical static partition.
             let rows = data.len() / row_len;
             let workers = workers.max(1).min(rows);
@@ -587,6 +649,62 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("serial retry"), "{msg}");
         assert!(msg.contains("permanent fault"), "{msg}");
+    }
+
+    #[test]
+    fn observed_counters_track_bands_and_panics() {
+        let rec = Recorder::enabled();
+        let nx = 4;
+        let mut v = vec![0u8; nx * 8];
+        try_par_row_chunks_mut_observed(&mut v, nx, 4, &rec, |_, _| {}).unwrap();
+        assert_eq!(rec.report().counter(stage::PAR_BANDS), 4);
+        assert_eq!(rec.report().counter(stage::PAR_WORKER_PANICS), 0);
+
+        let err = try_par_row_chunks_mut_observed(&mut v, nx, 4, &rec, |row0, _| {
+            if row0 >= 4 {
+                panic!("upper bands down");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::WorkerPanicked);
+        let report = rec.report();
+        assert_eq!(report.counter(stage::PAR_BANDS), 8);
+        assert_eq!(report.counter(stage::PAR_WORKER_PANICS), 2, "both failed bands counted");
+    }
+
+    #[test]
+    fn observed_fallback_counts_serial_retries() {
+        use std::sync::atomic::AtomicBool;
+        let rec = Recorder::enabled();
+        let tripped = AtomicBool::new(false);
+        let mut v = vec![0u64; 12];
+        par_row_chunks_mut_with_fallback_observed(&mut v, 4, 3, &rec, |row0, band| {
+            if row0 == 1 && !tripped.swap(true, Ordering::SeqCst) {
+                panic!("transient");
+            }
+            band.iter_mut().for_each(|x| *x = row0 as u64);
+        })
+        .unwrap();
+        let report = rec.report();
+        assert_eq!(report.counter(stage::PAR_SERIAL_FALLBACKS), 1);
+        assert_eq!(report.counter(stage::PAR_WORKER_PANICS), 1);
+        // 3 parallel bands + 3 serial retry bands.
+        assert_eq!(report.counter(stage::PAR_BANDS), 3);
+    }
+
+    #[test]
+    fn disabled_recorder_matches_plain_primitives() {
+        let mut a = vec![0u32; 60];
+        let mut b = vec![0u32; 60];
+        try_par_row_chunks_mut(&mut a, 6, 3, |r, band| {
+            band.iter_mut().enumerate().for_each(|(i, x)| *x = (r * 6 + i) as u32)
+        })
+        .unwrap();
+        try_par_row_chunks_mut_observed(&mut b, 6, 3, &Recorder::disabled(), |r, band| {
+            band.iter_mut().enumerate().for_each(|(i, x)| *x = (r * 6 + i) as u32)
+        })
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -4,24 +4,33 @@
 //! lattice noise. Two noise backings are provided:
 //!
 //! * **open** — [`NoiseField`], an unbounded deterministic lattice: any
-//!   output window can be generated independently and windows tile
+//!   output [`Window`] can be generated independently and windows tile
 //!   seamlessly (the paper's "arbitrarily long or wide RRS by successive
 //!   computations");
 //! * **periodic** — an explicit `Nx × Ny` noise grid with wrap-around
 //!   indexing, matching the direct DFT method *exactly* when the noise is
 //!   the transform of the same Hermitian array (this identity is what the
 //!   convolution theorem derivation promises, and the tests enforce it).
+//!
+//! Attach an enabled [`Recorder`] with
+//! [`ConvolutionGenerator::with_recorder`] to time window materialisation
+//! and the correlation loops (`window/materialise`, `correlate/inner`)
+//! and count per-band output samples (`correlate/samples`); the default
+//! disabled recorder records nothing and costs nothing, and enabling it
+//! never changes a single output bit.
 
 use crate::kernel::{ConvolutionKernel, KernelSizing};
 use crate::noise::NoiseField;
 use rrs_error::RrsError;
-use rrs_grid::Grid2;
+use rrs_grid::{Grid2, Window};
+use rrs_obs::{stage, Recorder};
 use rrs_spectrum::Spectrum;
 
 /// Homogeneous surface generator by real-space convolution.
 pub struct ConvolutionGenerator {
     kernel: ConvolutionKernel,
     workers: usize,
+    obs: Recorder,
 }
 
 impl ConvolutionGenerator {
@@ -31,9 +40,23 @@ impl ConvolutionGenerator {
         Self::from_kernel(ConvolutionKernel::build(spectrum, sizing))
     }
 
+    /// [`ConvolutionGenerator::new`] with kernel construction stages timed
+    /// into `obs`, which the generator then keeps for generation-time
+    /// observations (equivalent to `new` + [`with_recorder`]).
+    ///
+    /// [`with_recorder`]: ConvolutionGenerator::with_recorder
+    pub fn new_observed<S: Spectrum + ?Sized>(
+        spectrum: &S,
+        sizing: KernelSizing,
+        obs: Recorder,
+    ) -> Self {
+        Self::from_kernel(ConvolutionKernel::build_observed(spectrum, sizing, &obs))
+            .with_recorder(obs)
+    }
+
     /// Wraps a prebuilt (possibly truncated) kernel.
     pub fn from_kernel(kernel: ConvolutionKernel) -> Self {
-        Self { kernel, workers: rrs_par::default_workers() }
+        Self { kernel, workers: rrs_par::default_workers(), obs: Recorder::disabled() }
     }
 
     /// Sets the worker count (1 = serial). Output is identical for any
@@ -43,15 +66,56 @@ impl ConvolutionGenerator {
         self
     }
 
+    /// Attaches a recorder for stage timings and counters. Observation
+    /// never alters output: an enabled run is bit-identical to a disabled
+    /// one.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The kernel in use.
     pub fn kernel(&self) -> &ConvolutionKernel {
         &self.kernel
     }
 
-    /// Fallible [`ConvolutionGenerator::generate_window`]: rejects empty
-    /// windows and reports a worker panic as
-    /// [`RrsError::WorkerPanicked`](rrs_error::RrsError) instead of
-    /// propagating the unwind.
+    /// The attached recorder (disabled unless
+    /// [`ConvolutionGenerator::with_recorder`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Fallible [`ConvolutionGenerator::generate`]: reports a worker
+    /// panic as [`RrsError::WorkerPanicked`](rrs_error::RrsError) instead
+    /// of propagating the unwind.
+    pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
+        let (kw, kh) = self.kernel.extent();
+        let (ox, oy) = self.kernel.origin();
+        // f(n) = Σ_j w̃(j)·X(n−j); offsets j span [ox, ox+kw) × [oy, oy+kh),
+        // so the noise window spans [x0−(ox+kw−1), x0+nx−1−ox].
+        let wx0 = win.x0 - (ox + kw as i64 - 1);
+        let wy0 = win.y0 - (oy + kh as i64 - 1);
+        let ww = win.nx + kw - 1;
+        let wh = win.ny + kh - 1;
+        let span = self.obs.start(stage::WINDOW_MATERIALISE);
+        let noise_win = noise.window(wx0, wy0, ww, wh);
+        self.obs.finish(span);
+        self.correlate(&noise_win, ww, win.nx, win.ny)
+    }
+
+    /// Generates the surface samples requested by `win` from the
+    /// unbounded surface defined by `noise`. Windows of the same `noise`
+    /// tile seamlessly.
+    ///
+    /// # Panics
+    /// Panics if a worker panics. Fallible callers use
+    /// [`ConvolutionGenerator::try_generate`].
+    pub fn generate(&self, noise: &NoiseField, win: Window) -> Grid2<f64> {
+        self.try_generate(noise, win).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Positional form of [`ConvolutionGenerator::try_generate`].
+    #[deprecated(note = "use try_generate(noise, Window)")]
     pub fn try_generate_window(
         &self,
         noise: &NoiseField,
@@ -60,31 +124,14 @@ impl ConvolutionGenerator {
         nx: usize,
         ny: usize,
     ) -> Result<Grid2<f64>, RrsError> {
-        if nx == 0 || ny == 0 {
-            return Err(RrsError::invalid_param(
-                "nx,ny",
-                format!("window must be non-empty, got {nx}x{ny}"),
-            ));
-        }
-        let (kw, kh) = self.kernel.extent();
-        let (ox, oy) = self.kernel.origin();
-        // f(n) = Σ_j w̃(j)·X(n−j); offsets j span [ox, ox+kw) × [oy, oy+kh),
-        // so the noise window spans [x0−(ox+kw−1), x0+nx−1−ox].
-        let wx0 = x0 - (ox + kw as i64 - 1);
-        let wy0 = y0 - (oy + kh as i64 - 1);
-        let ww = nx + kw - 1;
-        let wh = ny + kh - 1;
-        let noise_win = noise.window(wx0, wy0, ww, wh);
-        self.correlate(&noise_win, ww, nx, ny)
+        self.try_generate(noise, Window::try_new(x0, y0, nx, ny)?)
     }
 
-    /// Generates the window `[x0, x0+nx) × [y0, y0+ny)` of the unbounded
-    /// surface defined by `noise`. Windows of the same `noise` tile
-    /// seamlessly.
+    /// Positional form of [`ConvolutionGenerator::generate`].
     ///
     /// # Panics
-    /// Panics if the window is empty. Fallible callers use
-    /// [`ConvolutionGenerator::try_generate_window`].
+    /// Panics if the window is empty or a worker panics.
+    #[deprecated(note = "use generate(noise, Window)")]
     pub fn generate_window(
         &self,
         noise: &NoiseField,
@@ -93,7 +140,8 @@ impl ConvolutionGenerator {
         nx: usize,
         ny: usize,
     ) -> Grid2<f64> {
-        self.try_generate_window(noise, x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"))
+        let win = Window::try_new(x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"));
+        self.generate(noise, win)
     }
 
     /// The inner correlation: `out[ix,iy] = Σ_{a,b} w̃[a,b] ·
@@ -105,28 +153,39 @@ impl ConvolutionGenerator {
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        rrs_par::try_par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
-            for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
-                let iy = iy0 + row_off;
-                for (ix, slot) in row.iter_mut().enumerate() {
-                    let mut acc = 0.0;
-                    for b in 0..kh {
-                        let krow = kernel.row(b);
-                        let wrow_y = iy + kh - 1 - b;
-                        let wbase = wrow_y * ww + ix;
-                        // Σ_a w̃[a,b] · win[ix + kw−1−a, wrow_y]: reverse
-                        // the kernel row against a forward window slice.
-                        let wslice = &win[wbase..wbase + kw];
-                        let mut s = 0.0;
-                        for (a, &kv) in krow.iter().enumerate() {
-                            s += kv * wslice[kw - 1 - a];
+        let span = self.obs.start(stage::CORRELATE);
+        rrs_par::try_par_row_chunks_mut_observed(
+            out_slice,
+            nx,
+            self.workers,
+            &self.obs,
+            |iy0, chunk| {
+                for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
+                    let iy = iy0 + row_off;
+                    for (ix, slot) in row.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for b in 0..kh {
+                            let krow = kernel.row(b);
+                            let wrow_y = iy + kh - 1 - b;
+                            let wbase = wrow_y * ww + ix;
+                            // Σ_a w̃[a,b] · win[ix + kw−1−a, wrow_y]: reverse
+                            // the kernel row against a forward window slice.
+                            let wslice = &win[wbase..wbase + kw];
+                            let mut s = 0.0;
+                            for (a, &kv) in krow.iter().enumerate() {
+                                s += kv * wslice[kw - 1 - a];
+                            }
+                            acc += s;
                         }
-                        acc += s;
+                        *slot = acc;
                     }
-                    *slot = acc;
                 }
-            }
-        })?;
+                let mut shard = self.obs.shard();
+                shard.add(stage::CORRELATE_SAMPLES, chunk.len() as u64);
+                self.obs.absorb(shard);
+            },
+        )?;
+        self.obs.finish(span);
         Ok(out)
     }
 
@@ -154,25 +213,36 @@ impl ConvolutionGenerator {
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        rrs_par::try_par_row_chunks_mut(out_slice, nx, self.workers, |iy0, chunk| {
-            for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
-                let iy = iy0 + row_off;
-                for (ix, slot) in row.iter_mut().enumerate() {
-                    let mut acc = 0.0;
-                    for b in 0..kh {
-                        let jy = oy + b as i64;
-                        let sy = (iy as i64 - jy).rem_euclid(ny as i64) as usize;
-                        let krow = kernel.row(b);
-                        for (a, &kv) in krow.iter().enumerate() {
-                            let jx = ox + a as i64;
-                            let sx = (ix as i64 - jx).rem_euclid(nx as i64) as usize;
-                            acc += kv * *noise.get(sx, sy);
+        let span = self.obs.start(stage::CORRELATE);
+        rrs_par::try_par_row_chunks_mut_observed(
+            out_slice,
+            nx,
+            self.workers,
+            &self.obs,
+            |iy0, chunk| {
+                for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
+                    let iy = iy0 + row_off;
+                    for (ix, slot) in row.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for b in 0..kh {
+                            let jy = oy + b as i64;
+                            let sy = (iy as i64 - jy).rem_euclid(ny as i64) as usize;
+                            let krow = kernel.row(b);
+                            for (a, &kv) in krow.iter().enumerate() {
+                                let jx = ox + a as i64;
+                                let sx = (ix as i64 - jx).rem_euclid(nx as i64) as usize;
+                                acc += kv * *noise.get(sx, sy);
+                            }
                         }
+                        *slot = acc;
                     }
-                    *slot = acc;
                 }
-            }
-        })?;
+                let mut shard = self.obs.shard();
+                shard.add(stage::CORRELATE_SAMPLES, chunk.len() as u64);
+                self.obs.absorb(shard);
+            },
+        )?;
+        self.obs.finish(span);
         Ok(out)
     }
 
@@ -204,9 +274,9 @@ mod tests {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
         let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
         let noise = NoiseField::new(5);
-        let a = gen.generate_window(&noise, 0, 0, 32, 16);
+        let a = gen.generate(&noise, Window::sized(32, 16));
         assert_eq!(a.shape(), (32, 16));
-        let b = gen.generate_window(&noise, 0, 0, 32, 16);
+        let b = gen.generate(&noise, Window::sized(32, 16));
         assert_eq!(a, b);
     }
 
@@ -216,9 +286,9 @@ mod tests {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
         let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
         let noise = NoiseField::new(11);
-        let whole = gen.generate_window(&noise, 0, 0, 64, 32);
-        let left = gen.generate_window(&noise, 0, 0, 32, 32);
-        let right = gen.generate_window(&noise, 32, 0, 32, 32);
+        let whole = gen.generate(&noise, Window::sized(64, 32));
+        let left = gen.generate(&noise, Window::sized(32, 32));
+        let right = gen.generate(&noise, Window::new(32, 0, 32, 32));
         for iy in 0..32 {
             for ix in 0..32 {
                 assert!((*whole.get(ix, iy) - *left.get(ix, iy)).abs() < 1e-12);
@@ -232,8 +302,8 @@ mod tests {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
         let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(2);
         let noise = NoiseField::new(13);
-        let whole = gen.generate_window(&noise, -5, -5, 24, 48);
-        let top = gen.generate_window(&noise, -5, -5 + 24, 24, 24);
+        let whole = gen.generate(&noise, Window::new(-5, -5, 24, 48));
+        let top = gen.generate(&noise, Window::new(-5, -5 + 24, 24, 24));
         for iy in 0..24 {
             for ix in 0..24 {
                 assert!((*whole.get(ix, iy + 24) - *top.get(ix, iy)).abs() < 1e-12);
@@ -246,13 +316,12 @@ mod tests {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
         let k = ConvolutionKernel::build(&s, KernelSizing::default());
         let noise = NoiseField::new(3);
-        let serial =
-            ConvolutionGenerator::from_kernel(k.clone()).with_workers(1).generate_window(
-                &noise, 0, 0, 48, 48,
-            );
-        let parallel = ConvolutionGenerator::from_kernel(k).with_workers(5).generate_window(
-            &noise, 0, 0, 48, 48,
-        );
+        let serial = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(1)
+            .generate(&noise, Window::sized(48, 48));
+        let parallel = ConvolutionGenerator::from_kernel(k)
+            .with_workers(5)
+            .generate(&noise, Window::sized(48, 48));
         assert_eq!(serial, parallel);
     }
 
@@ -262,7 +331,7 @@ mod tests {
         let cl = 6.0;
         let s = Gaussian::new(SurfaceParams::isotropic(h, cl));
         let gen = ConvolutionGenerator::new(&s, KernelSizing::default());
-        let f = gen.generate_window(&NoiseField::new(21), 0, 0, 256, 256);
+        let f = gen.generate(&NoiseField::new(21), Window::sized(256, 256));
         let measured = f.std_dev();
         let patches = (256.0 / cl) * (256.0 / cl);
         let tol = 4.5 * h / patches.sqrt();
@@ -311,13 +380,8 @@ mod tests {
         let full = ConvolutionKernel::build(&s, KernelSizing::default());
         let trunc = full.truncated(1e-3);
         assert!(trunc.extent().0 < full.extent().0);
-        let f = ConvolutionGenerator::from_kernel(trunc).generate_window(
-            &NoiseField::new(8),
-            0,
-            0,
-            192,
-            192,
-        );
+        let f = ConvolutionGenerator::from_kernel(trunc)
+            .generate(&NoiseField::new(8), Window::sized(192, 192));
         assert!((f.std_dev() - h).abs() < 0.15, "ĥ = {}", f.std_dev());
     }
 
@@ -325,6 +389,7 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_window_rejected() {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 3.0));
+        #[allow(deprecated)]
         ConvolutionGenerator::new(&s, KernelSizing::default()).generate_window(
             &NoiseField::new(0),
             0,
@@ -332,5 +397,46 @@ mod tests {
             0,
             4,
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_wrappers_match_window_form() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
+        let noise = NoiseField::new(77);
+        assert_eq!(
+            gen.generate_window(&noise, -3, 9, 20, 12),
+            gen.generate(&noise, Window::new(-3, 9, 20, 12)),
+        );
+        assert_eq!(
+            gen.try_generate_window(&noise, 4, -2, 8, 8).unwrap(),
+            gen.try_generate(&noise, Window::new(4, -2, 8, 8)).unwrap(),
+        );
+        assert!(gen.try_generate_window(&noise, 0, 0, 0, 8).is_err());
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_reports_stages() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
+        let plain = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(2);
+        let rec = Recorder::enabled();
+        let observed = ConvolutionGenerator::new_observed(&s, KernelSizing::default(), rec.clone())
+            .with_workers(2);
+        let noise = NoiseField::new(19);
+        let win = Window::new(-4, 6, 40, 24);
+        assert_eq!(plain.generate(&noise, win), observed.generate(&noise, win));
+        let report = rec.report();
+        for name in [
+            stage::KERNEL_AMPLITUDE,
+            stage::KERNEL_DFT,
+            stage::KERNEL_PERMUTE,
+            stage::WINDOW_MATERIALISE,
+            stage::CORRELATE,
+        ] {
+            assert!(report.durations.contains_key(name), "missing stage {name}");
+        }
+        assert_eq!(report.counter(stage::CORRELATE_SAMPLES), 40 * 24);
+        assert!(report.counter(stage::PAR_BANDS) >= 2);
     }
 }

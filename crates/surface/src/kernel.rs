@@ -22,10 +22,15 @@ use rrs_fft::spectral::fftshift2;
 use rrs_fft::{Direction, Fft2d};
 use rrs_grid::Grid2;
 use rrs_num::Complex64;
+use rrs_obs::{stage, Recorder};
 use rrs_spectrum::{amplitude_array, GridSpec, Spectrum, SurfaceParams};
 
 /// How to choose the kernel lattice for a spectrum.
+///
+/// `#[non_exhaustive]`: sizing policies are an open set (per-axis
+/// overrides, memory budgets); match with a wildcard arm.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum KernelSizing {
     /// Use this lattice exactly.
     Explicit(GridSpec),
@@ -76,17 +81,40 @@ pub struct ConvolutionKernel {
 impl ConvolutionKernel {
     /// Builds the kernel of `spectrum` on the lattice chosen by `sizing`.
     pub fn build<S: Spectrum + ?Sized>(spectrum: &S, sizing: KernelSizing) -> Self {
+        Self::build_observed(spectrum, sizing, &Recorder::disabled())
+    }
+
+    /// [`ConvolutionKernel::build`] with construction stages (amplitude
+    /// evaluation, DFT, re-centring permutation) timed into `obs`.
+    pub fn build_observed<S: Spectrum + ?Sized>(
+        spectrum: &S,
+        sizing: KernelSizing,
+        obs: &Recorder,
+    ) -> Self {
         let spec = sizing.resolve(spectrum.params());
-        Self::build_on(spectrum, spec)
+        Self::build_on_observed(spectrum, spec, obs)
     }
 
     /// Builds the kernel on an explicit lattice (eqns 34–35 verbatim).
     pub fn build_on<S: Spectrum + ?Sized>(spectrum: &S, spec: GridSpec) -> Self {
-        let v = amplitude_array(spectrum, spec);
+        Self::build_on_observed(spectrum, spec, &Recorder::disabled())
+    }
+
+    /// [`ConvolutionKernel::build_on`] with construction stages timed
+    /// into `obs`.
+    pub fn build_on_observed<S: Spectrum + ?Sized>(
+        spectrum: &S,
+        spec: GridSpec,
+        obs: &Recorder,
+    ) -> Self {
+        let v = obs.time(stage::KERNEL_AMPLITUDE, || amplitude_array(spectrum, spec));
         let (nx, ny) = (spec.nx, spec.ny);
+        let span = obs.start(stage::KERNEL_DFT);
         let mut buf: Vec<Complex64> =
             v.as_slice().iter().map(|&x| Complex64::from_re(x)).collect();
         Fft2d::with_workers(nx, ny, 1).process(&mut buf, Direction::Forward);
+        obs.finish(span);
+        let span = obs.start(stage::KERNEL_PERMUTE);
         let norm = 1.0 / ((nx * ny) as f64).sqrt();
         let mut weights: Vec<f64> = buf.iter().map(|z| z.re * norm).collect();
         debug_assert!(
@@ -95,6 +123,7 @@ impl ConvolutionKernel {
         );
         // Eqn (35): permute so the kernel peak sits at the array centre.
         fftshift2(&mut weights, nx, ny);
+        obs.finish(span);
         Self {
             weights: Grid2::from_vec(nx, ny, weights),
             x0: -((nx / 2) as i64),
@@ -174,6 +203,23 @@ impl ConvolutionKernel {
     /// `epsilon` must be finite and strictly inside `(0, 1)` (NaN is
     /// rejected too — both comparisons fail on it).
     pub fn try_truncated(&self, epsilon: f64) -> Result<Self, RrsError> {
+        self.try_truncated_observed(epsilon, &Recorder::disabled())
+    }
+
+    /// [`ConvolutionKernel::try_truncated`] with the truncation search
+    /// (energy scan + binary search + crop) timed into `obs`.
+    pub fn try_truncated_observed(
+        &self,
+        epsilon: f64,
+        obs: &Recorder,
+    ) -> Result<Self, RrsError> {
+        let span = obs.start(stage::KERNEL_TRUNCATE);
+        let out = self.truncate_impl(epsilon);
+        obs.finish(span);
+        out
+    }
+
+    fn truncate_impl(&self, epsilon: f64) -> Result<Self, RrsError> {
         if !(epsilon > 0.0 && epsilon < 1.0) {
             return Err(RrsError::invalid_param(
                 "epsilon",

@@ -11,7 +11,8 @@ use crate::conv::ConvolutionGenerator;
 use crate::kernel::KernelSizing;
 use crate::noise::NoiseField;
 use rrs_error::RrsError;
-use rrs_grid::Grid2;
+use rrs_grid::{Grid2, Window};
+use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::Spectrum;
 
 /// Generates an unbounded-in-`x` surface strip by strip.
@@ -67,6 +68,19 @@ impl StripGenerator {
         Self::try_from_generator(gen, ny, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Attaches a recorder to the inner convolution generator: strips
+    /// count under `strip/tiles` and generation stages are timed. Output
+    /// is unchanged.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.gen = self.gen.with_recorder(obs);
+        self
+    }
+
+    /// The recorder attached to the inner generator.
+    pub fn recorder(&self) -> &Recorder {
+        self.gen.recorder()
+    }
+
     /// Transverse extent.
     pub fn height(&self) -> usize {
         self.ny
@@ -88,7 +102,10 @@ impl StripGenerator {
 
     /// Fallible [`StripGenerator::strip_at`].
     pub fn try_strip_at(&self, x0: i64, width: usize) -> Result<Grid2<f64>, RrsError> {
-        self.gen.try_generate_window(&self.noise, x0, 0, width, self.ny)
+        let win = Window::try_new(x0, 0, width, self.ny)?;
+        let out = self.gen.try_generate(&self.noise, win)?;
+        self.gen.recorder().add_counter(stage::STRIP_TILES, 1);
+        Ok(out)
     }
 
     /// The strip `[x0, x0+width) × [0, ny)` — random access, stateless.
@@ -178,5 +195,18 @@ mod tests {
     fn zero_height_rejected() {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
         StripGenerator::new(&s, KernelSizing::default(), 0, 1);
+    }
+
+    #[test]
+    fn recorder_counts_tiles_without_changing_output() {
+        let rec = Recorder::enabled();
+        let mut plain = make(42);
+        let mut observed = make(42).with_recorder(rec.clone());
+        for _ in 0..3 {
+            assert_eq!(plain.next_strip(8), observed.next_strip(8));
+        }
+        let report = rec.report();
+        assert_eq!(report.counter(stage::STRIP_TILES), 3);
+        assert!(report.durations.contains_key(stage::WINDOW_MATERIALISE));
     }
 }

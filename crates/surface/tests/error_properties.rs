@@ -5,9 +5,9 @@
 
 use rrs_check::{from_fn, props, CaseRng};
 use rrs_error::ErrorKind;
-use rrs_grid::Grid2;
+use rrs_grid::{Grid2, Window};
 use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
-use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, KernelSizing, NoiseField, StripGenerator};
+use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, NoiseField, StripGenerator};
 
 fn small_kernel(cl: f64) -> ConvolutionKernel {
     ConvolutionKernel::build_on(
@@ -22,11 +22,11 @@ props! {
     fn empty_windows_rejected(nx in 0usize..3, ny in 0usize..3, seed in rrs_check::any::<u64>()) {
         let gen = ConvolutionGenerator::from_kernel(small_kernel(2.0)).with_workers(1);
         let noise = NoiseField::new(seed);
-        match gen.try_generate_window(&noise, 0, 0, nx, ny) {
+        match Window::try_new(0, 0, nx, ny).and_then(|w| gen.try_generate(&noise, w)) {
             Ok(g) => {
                 assert!(nx > 0 && ny > 0);
                 assert_eq!(g.shape(), (nx, ny));
-                assert_eq!(g, gen.generate_window(&noise, 0, 0, nx, ny));
+                assert_eq!(g, gen.generate(&noise, Window::new(0, 0, nx, ny)));
             }
             Err(e) => {
                 assert!(nx == 0 || ny == 0);

@@ -1,6 +1,7 @@
 //! Property-based tests for the surface generators.
 
 use rrs_check::any;
+use rrs_grid::Window;
 use rrs_spectrum::{Gaussian, GridSpec, SurfaceParams};
 use rrs_surface::{
     ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing, NoiseField,
@@ -75,8 +76,8 @@ rrs_check::props! {
         )
         .with_workers(1);
         let noise = NoiseField::new(seed);
-        let a = gen.generate_window(&noise, dx, dy, 8, 8);
-        let b = gen.generate_window(&noise, dx, dy, 16, 16);
+        let a = gen.generate(&noise, Window::new(dx, dy, 8, 8));
+        let b = gen.generate(&noise, Window::new(dx, dy, 16, 16));
         for iy in 0..8 {
             for ix in 0..8 {
                 assert_eq!(*a.get(ix, iy), *b.get(ix, iy));
@@ -90,7 +91,7 @@ rrs_check::props! {
             &s,
             KernelSizing::Auto { factor: 8.0, min: 16, max: 64 },
         );
-        let f = gen.generate_window(&NoiseField::new(seed), 0, 0, 128, 128);
+        let f = gen.generate(&NoiseField::new(seed), Window::sized(128, 128));
         let raw = f.as_slice().iter().map(|v| v * v).sum::<f64>() / f.len() as f64;
         // 32² patches ⇒ ~4.4% relative sigma on the variance; 6 sigma guard.
         assert!((raw - h * h).abs() < 0.3 * h * h, "raw var {raw} vs h² {}", h * h);

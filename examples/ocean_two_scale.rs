@@ -31,8 +31,8 @@ fn main() {
     let n = 512usize;
     let swell_gen = ConvolutionGenerator::new(&swell, KernelSizing::default());
     let ripple_gen = ConvolutionGenerator::new(&ripple, KernelSizing::default());
-    let mut sea = swell_gen.generate_window(&NoiseField::new(1), 0, 0, n, n);
-    let ripple_field = ripple_gen.generate_window(&NoiseField::new(2), 0, 0, n, n);
+    let mut sea = swell_gen.generate(&NoiseField::new(1), Window::new(0, 0, n, n));
+    let ripple_field = ripple_gen.generate(&NoiseField::new(2), Window::new(0, 0, n, n));
     sea.add_assign(&ripple_field);
 
     let total_h = (1.0f64 + 0.25 * 0.25).sqrt();

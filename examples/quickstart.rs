@@ -18,7 +18,7 @@ fn main() {
     // window of an unbounded surface.
     let generator = ConvolutionGenerator::new(&spectrum, KernelSizing::default());
     let noise = NoiseField::new(2024);
-    let surface = generator.generate_window(&noise, 0, 0, 512, 512);
+    let surface = generator.generate(&noise, Window::new(0, 0, 512, 512));
 
     println!("generated a {}x{} surface", surface.nx(), surface.ny());
     println!("  min/max height : {:+.3} / {:+.3}", surface.min(), surface.max());

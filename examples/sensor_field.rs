@@ -44,7 +44,7 @@ fn main() {
     });
     let layout = PointLayout::new(points, 25.0);
     let generator = InhomogeneousGenerator::new(layout, KernelSizing::default());
-    let terrain = generator.generate_window(&NoiseField::new(99), -half, -half, n, n);
+    let terrain = generator.generate(&NoiseField::new(99), Window::new(-half, -half, n, n));
 
     println!("terrain {}x{}: overall h = {:.2}", n, n, terrain.std_dev());
     rrs::io::write_ppm(File::create("sensor_field.ppm").expect("create"), &terrain)

@@ -33,7 +33,7 @@ fn main() {
         transition,
     );
     let generator = InhomogeneousGenerator::new(layout, KernelSizing::default());
-    let surface = generator.generate(7, n, n);
+    let surface = generator.generate(&NoiseField::new(7), Window::sized(n, n));
 
     // Validate the two homogeneous zones.
     let side = (radius / std::f64::consts::SQRT_2) as usize - 20;

@@ -15,7 +15,7 @@
 //! // correlation length 8 samples.
 //! let spectrum = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
 //! let generator = ConvolutionGenerator::new(&spectrum, KernelSizing::default());
-//! let surface = generator.generate_window(&NoiseField::new(42), 0, 0, 128, 128);
+//! let surface = generator.generate(&NoiseField::new(42), rrs::grid::Window::sized(128, 128));
 //! assert_eq!(surface.shape(), (128, 128));
 //! // The sample standard deviation approaches the target h = 1.0.
 //! assert!((surface.std_dev() - 1.0).abs() < 0.3);
@@ -31,6 +31,7 @@
 //! | [`stats`] | moments, autocorrelation, correlation-length fits, normality tests |
 //! | [`fft`], [`rng`], [`num`], [`grid`], [`par`] | substrates built for this reproduction |
 //! | [`io`] | CSV / gnuplot / PGM / snapshot export, stream checkpoints |
+//! | [`obs`] | stage-level spans, counters and duration histograms behind [`obs::Recorder`] |
 //! | [`propagation`] | link budgets over generated profiles (the motivating application) |
 //! | [`error`] | the unified [`error::RrsError`] taxonomy returned by every `try_*` API |
 //!
@@ -40,6 +41,14 @@
 //! [`Result`]`<_, `[`error::RrsError`]`>`; the short-named methods are thin
 //! wrappers that panic with the same message for quick scripts and tests.
 //! Library and service callers should prefer the `try_*` forms.
+//!
+//! ## Observability
+//!
+//! Every generator accepts an [`obs::Recorder`] via `with_recorder`;
+//! generation stages (kernel build, window materialisation, correlation,
+//! checkpoint write/fsync) are timed into named histograms and counters,
+//! exportable as JSON. The default disabled recorder costs nothing and
+//! enabling one never changes a single output bit.
 
 pub use rrs_error as error;
 pub use rrs_fft as fft;
@@ -47,6 +56,7 @@ pub use rrs_grid as grid;
 pub use rrs_inhomo as inhomo;
 pub use rrs_io as io;
 pub use rrs_num as num;
+pub use rrs_obs as obs;
 pub use rrs_par as par;
 pub use rrs_propagation as propagation;
 pub use rrs_rng as rng;
@@ -57,8 +67,11 @@ pub use rrs_surface as surface;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use rrs_error::{ErrorKind, RrsError};
-    pub use rrs_grid::Grid2;
-    pub use rrs_io::StreamCheckpoint;
+    pub use rrs_grid::{Grid2, Window};
+    pub use rrs_io::{
+        try_write_snapshot, write_checkpoint_file, write_snapshot, StreamCheckpoint,
+    };
+    pub use rrs_obs::Recorder;
     pub use rrs_inhomo::{
         InhomogeneousGenerator, Plate, PlateLayout, PointLayout, Region, RepresentativePoint,
         TransitionProfile,

@@ -24,11 +24,11 @@ fn window_is_bit_identical_across_worker_counts() {
     let noise = NoiseField::new(0x5EED_CAFE);
     let serial = ConvolutionGenerator::new(&s, sizing())
         .with_workers(1)
-        .generate_window(&noise, -17, 23, 96, 64);
+        .generate(&noise, Window::new(-17, 23, 96, 64));
     for workers in [2, 3, 8] {
         let parallel = ConvolutionGenerator::new(&s, sizing())
             .with_workers(workers)
-            .generate_window(&noise, -17, 23, 96, 64);
+            .generate(&noise, Window::new(-17, 23, 96, 64));
         assert_eq!(
             serial.as_slice(),
             parallel.as_slice(),
@@ -42,10 +42,10 @@ fn window_is_bit_identical_across_worker_counts() {
 fn same_seed_runs_are_bit_identical() {
     let s = spectrum();
     let gen = ConvolutionGenerator::new(&s, sizing()).with_workers(4);
-    let a = gen.generate_window(&NoiseField::new(42), 0, 0, 64, 64);
-    let b = gen.generate_window(&NoiseField::new(42), 0, 0, 64, 64);
+    let a = gen.generate(&NoiseField::new(42), Window::new(0, 0, 64, 64));
+    let b = gen.generate(&NoiseField::new(42), Window::new(0, 0, 64, 64));
     assert_eq!(a, b, "same-seed runs must be reproducible");
-    let c = gen.generate_window(&NoiseField::new(43), 0, 0, 64, 64);
+    let c = gen.generate(&NoiseField::new(43), Window::new(0, 0, 64, 64));
     assert_ne!(a, c, "different seeds must differ");
 }
 
@@ -59,16 +59,16 @@ fn quadrant_windows_tile_seamlessly() {
     let noise = NoiseField::new(0xD15C);
     let (w, h) = (80usize, 56usize);
     let (x0, y0) = (-9i64, 31i64);
-    let full = gen.generate_window(&noise, x0, y0, w, h);
+    let full = gen.generate(&noise, Window::new(x0, y0, w, h));
     let (hw, hh) = (w / 2, h / 2);
     let quads = [
-        (0usize, 0usize, gen.generate_window(&noise, x0, y0, hw, hh)),
-        (hw, 0, gen.generate_window(&noise, x0 + hw as i64, y0, w - hw, hh)),
-        (0, hh, gen.generate_window(&noise, x0, y0 + hh as i64, hw, h - hh)),
+        (0usize, 0usize, gen.generate(&noise, Window::new(x0, y0, hw, hh))),
+        (hw, 0, gen.generate(&noise, Window::new(x0 + hw as i64, y0, w - hw, hh))),
+        (0, hh, gen.generate(&noise, Window::new(x0, y0 + hh as i64, hw, h - hh))),
         (
             hw,
             hh,
-            gen.generate_window(&noise, x0 + hw as i64, y0 + hh as i64, w - hw, h - hh),
+            gen.generate(&noise, Window::new(x0 + hw as i64, y0 + hh as i64, w - hw, h - hh)),
         ),
     ];
     for (ox, oy, q) in &quads {

@@ -35,8 +35,8 @@ fn plate_and_point_methods_agree_in_pure_zones() {
     let noise = NoiseField::new(21);
     let plates = InhomogeneousGenerator::new(plate_layout, sizing()).with_workers(2);
     let points = InhomogeneousGenerator::new(point_layout, sizing()).with_workers(2);
-    let fa = plates.generate_window(&noise, 0, 0, 128, 128);
-    let fb = points.generate_window(&noise, 0, 0, 128, 128);
+    let fa = plates.generate(&noise, Window::new(0, 0, 128, 128));
+    let fb = points.generate(&noise, Window::new(0, 0, 128, 128));
 
     // Same noise, same kernels, same pure-zone weights ⇒ identical
     // samples away from the (differently parameterised) transitions.
@@ -68,7 +68,7 @@ fn transition_width_controls_blend_extent() {
         // Ensemble of 6 seeds for a stable variance profile.
         let mut acc = [0.0f64; 24];
         for seed in 0..6u64 {
-            let f = gen.generate_window(&NoiseField::new(seed), 0, 0, 192, 96);
+            let f = gen.generate(&NoiseField::new(seed), Window::new(0, 0, 192, 96));
             for (bi, a) in acc.iter_mut().enumerate() {
                 let col = f.window(bi * 8, 0, 8, 96);
                 *a += col.as_slice().iter().map(|v| v * v).sum::<f64>() / col.len() as f64;
@@ -96,9 +96,9 @@ fn inhomogeneous_windows_tile_seamlessly() {
     let layout = PlateLayout::new(vec![pond], Some(sm(1.0, 5.0)), 8.0);
     let gen = InhomogeneousGenerator::new(layout, sizing()).with_workers(3);
     let noise = NoiseField::new(4);
-    let whole = gen.generate_window(&noise, 0, 0, 100, 100);
+    let whole = gen.generate(&noise, Window::new(0, 0, 100, 100));
     for &(x0, y0, w, h) in &[(0i64, 0i64, 50usize, 50usize), (50, 0, 50, 50), (25, 60, 60, 40)] {
-        let part = gen.generate_window(&noise, x0, y0, w, h);
+        let part = gen.generate(&noise, Window::new(x0, y0, w, h));
         for iy in 0..h {
             for ix in 0..w {
                 assert_eq!(
@@ -131,7 +131,7 @@ fn inhomogeneous_regions_remain_gaussian() {
         let stride = (2.0 * cl).ceil() as usize;
         let mut samples = Vec::new();
         for seed in 0..8u64 {
-            let f = gen.generate(seed, 192, 192);
+            let f = gen.generate(&NoiseField::new(seed), Window::sized(192, 192));
             let win = f.window(x0, 0, w, 192);
             for iy in (0..192).step_by(stride) {
                 for ix in (0..w).step_by(stride) {
@@ -162,8 +162,8 @@ fn truncated_inhomogeneous_generation_stays_faithful() {
         InhomogeneousGenerator::new_truncated(layout, sizing(), 0.05).with_workers(1);
     assert!(trunc.kernels()[0].extent().0 < exact.kernels()[0].extent().0);
     let noise = NoiseField::new(6);
-    let fe = exact.generate_window(&noise, 0, 0, 160, 160);
-    let ft = trunc.generate_window(&noise, 0, 0, 160, 160);
+    let fe = exact.generate(&noise, Window::new(0, 0, 160, 160));
+    let ft = trunc.generate(&noise, Window::new(0, 0, 160, 160));
     // Pointwise difference bounded by the truncated tail's contribution.
     let rms_diff = (fe
         .as_slice()

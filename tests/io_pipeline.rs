@@ -6,7 +6,7 @@ fn surface() -> rrs::grid::Grid2<f64> {
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 6.0));
     ConvolutionGenerator::new(&s, KernelSizing::default())
         .with_workers(1)
-        .generate_window(&NoiseField::new(3), 0, 0, 96, 64)
+        .generate(&NoiseField::new(3), Window::new(0, 0, 96, 64))
 }
 
 #[test]

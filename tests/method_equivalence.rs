@@ -68,7 +68,7 @@ fn ensemble_statistics_agree_between_methods() {
     for seed in 0..reps {
         let fd = direct.generate(seed);
         var_direct += fd.as_slice().iter().map(|v| v * v).sum::<f64>() / fd.len() as f64;
-        let fc = conv.generate_window(&NoiseField::new(seed), 0, 0, n, n);
+        let fc = conv.generate(&NoiseField::new(seed), Window::new(0, 0, n, n));
         var_conv += fc.as_slice().iter().map(|v| v * v).sum::<f64>() / fc.len() as f64;
     }
     var_direct /= reps as f64;
@@ -117,7 +117,7 @@ fn measured_autocorrelation_matches_model() {
     let s = Gaussian::new(p);
     let n = 256usize;
     let conv = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(2);
-    let f = conv.generate_window(&NoiseField::new(77), 0, 0, n, n);
+    let f = conv.generate(&NoiseField::new(77), Window::new(0, 0, n, n));
     let lags: Vec<(i64, i64)> = vec![(0, 0), (4, 0), (8, 0), (0, 8), (12, 0), (6, 6)];
     let measured = rrs::stats::autocorrelation_lags_with_mean(&f, &lags, 0.0);
     use rrs::spectrum::Spectrum;
@@ -143,8 +143,8 @@ fn full_pipeline_is_worker_count_invariant() {
         let kb = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(w2);
         let noise = NoiseField::new(9);
         assert_eq!(
-            ka.generate_window(&noise, -7, 3, 60, 40),
-            kb.generate_window(&noise, -7, 3, 60, 40),
+            ka.generate(&noise, Window::new(-7, 3, 60, 40)),
+            kb.generate(&noise, Window::new(-7, 3, 60, 40)),
             "convolution differs between {w1} and {w2} workers"
         );
     }

@@ -10,7 +10,7 @@ fn terrain(h: f64, cl: f64, seed: u64, n: usize) -> rrs::grid::Grid2<f64> {
     let s = Gaussian::new(SurfaceParams::isotropic(h, cl));
     ConvolutionGenerator::new(&s, KernelSizing::default())
         .with_workers(2)
-        .generate_window(&NoiseField::new(seed), 0, 0, n, n)
+        .generate(&NoiseField::new(seed), Window::new(0, 0, n, n))
 }
 
 /// Ensemble-averaged diffraction loss grows with surface roughness at
@@ -103,7 +103,7 @@ fn inhomogeneous_terrain_splits_link_quality() {
     let mut low = 0.0;
     let mut high = 0.0;
     for seed in 0..4u64 {
-        let t = gen.generate_window(&NoiseField::new(seed), 0, 0, 384, 384);
+        let t = gen.generate(&NoiseField::new(seed), Window::new(0, 0, 384, 384));
         for (acc, rows) in [(&mut low, [40usize, 100]), (&mut high, [280, 340])] {
             for row in rows {
                 let p = rrs::grid::extract_row(&t, row);

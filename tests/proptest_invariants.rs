@@ -95,13 +95,10 @@ rrs_check::props! {
         let noise = NoiseField::new(seed);
         let sx = sx.min(w - 1);
         let sy = sy.min(h - 1);
-        let big = gen.generate_window(&noise, x0, y0, w, h);
-        let sub = gen.generate_window(
+        let big = gen.generate(&noise, Window::new(x0, y0, w, h));
+        let sub = gen.generate(
             &noise,
-            x0 + sx as i64,
-            y0 + sy as i64,
-            w - sx,
-            h - sy,
+            Window::new(x0 + sx as i64, y0 + sy as i64, w - sx, h - sy),
         );
         for iy in 0..h - sy {
             for ix in 0..w - sx {
