@@ -29,8 +29,18 @@ echo "ok: [profile.test] pins debug-assertions and overflow-checks"
 echo "== test (workspace, locked, offline) =="
 cargo test -q --workspace --locked --offline
 
-echo "== fault injection: rrs-io decoders must fail closed =="
+echo "== fault injection: rrs-io decoders must fail closed, retries must recover =="
+# Includes the retry-under-injected-faults and torn-file atomicity
+# properties: transient FailingWriter faults recover within the attempt
+# budget, persistent ones fail closed with history, and a fault mid-export
+# never leaves a torn destination file.
 cargo test -q -p rrs-io --features failpoints --locked --offline
+
+echo "== runtime budgets: cancellation, deadlines and admission control =="
+# Cancel at every tile index leaves resumable checkpoints bit-identical
+# to the uncancelled prefix; oversized requests are rejected before
+# allocation; no-budget runs are bit-identical to budgeted-idle runs.
+cargo test -q --test runtime_budgets --locked --offline
 
 echo "== guard: no internal calls to deprecated APIs =="
 # The positional generate_window forms are deprecated wrappers kept for
@@ -42,6 +52,12 @@ echo "== obs overhead gate: disabled recorder must be free =="
 # Exits 1 if a disabled Recorder is measurably slower than the
 # no-recorder baseline (min-of-reps ratio >= 1.5x) — see bench_obs.
 cargo run --release --locked --offline -p rrs-bench --bin bench_obs
+
+echo "== runtime budget overhead gate: the no-budget path must stay free =="
+# Exits 1 if the budgeted primitive with Budget::unlimited is measurably
+# slower than the pre-budget primitive (min-of-reps ratio >= 1.5x) —
+# see bench_runtime; armed-budget overhead is reported for information.
+cargo run --release --locked --offline -p rrs-bench --bin bench_runtime
 
 echo "== bench smoke: reduced-scale reproduction run =="
 smoke_out="$(mktemp -d)"

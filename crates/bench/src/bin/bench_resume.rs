@@ -16,7 +16,10 @@
 //! figure on most filesystems.
 
 use rrs_bench::Harness;
-use rrs_io::{write_checkpoint, write_checkpoint_file_observed, StreamCheckpoint};
+use rrs_io::{
+    write_checkpoint, write_checkpoint_file_observed, write_checkpoint_file_retrying,
+    RetryPolicy, StreamCheckpoint,
+};
 use rrs_obs::Recorder;
 use rrs_spectrum::{Gaussian, SurfaceParams};
 use rrs_surface::{KernelSizing, StripGenerator};
@@ -64,6 +67,15 @@ fn main() {
     let sg = StripGenerator::new(&s, KernelSizing::default(), NY, 11);
     h.bench("resume/file_checkpoint_only", || {
         write_checkpoint_file_observed(&path, &checkpoint_of(&sg), &rec).expect("checkpoint");
+    });
+
+    // The production streaming loop wraps the durable write in a retry
+    // policy; on a healthy disk every write succeeds first try, so this
+    // measures the policy's bookkeeping overhead and (with --obs) surfaces
+    // the retry/attempts counter in the report.
+    h.bench("resume/file_checkpoint_retrying", || {
+        write_checkpoint_file_retrying(&path, &checkpoint_of(&sg), RetryPolicy::default(), &rec)
+            .expect("checkpoint");
     });
 
     if obs_on {

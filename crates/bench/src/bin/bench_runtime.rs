@@ -1,0 +1,132 @@
+//! Runtime-budget overhead guard.
+//!
+//! The `Budget` contract is that callers who never opt in pay nothing:
+//! `try_par_row_chunks_mut_budgeted` with a budget that needs no polling
+//! *delegates* to the pre-budget primitive before any budget machinery
+//! runs, so the unbudgeted hot path is unchanged. This suite measures the
+//! same correlation workload three ways — the pre-budget parallel
+//! primitive directly (the PR 3 baseline shape), the budgeted primitive
+//! with `Budget::unlimited` (the delegation path), and the budgeted
+//! primitive with an armed cancel token + far-future deadline (the
+//! polling path) — and **fails** (exit code 1) if the unlimited path is
+//! measurably slower than baseline, so a regression that sneaks polling
+//! into the no-budget path breaks CI rather than silently taxing every
+//! caller.
+//!
+//! As with `bench_obs`, the guard compares min-of-reps and allows a
+//! generous 1.5× ratio: the real figure should be ~1.0. Armed-budget
+//! overhead is reported for information but not gated — at 8 polls per
+//! worker band (one relaxed atomic load + one clock read each) it should
+//! also be ~1.0, but it buys bounded-time cancellation and is allowed to
+//! cost a little. Full-generator comparisons (unbudgeted vs armed-idle
+//! convolution) ride along, also informational.
+//!
+//! Run with `cargo run --release -p rrs-bench --bin bench_runtime`;
+//! writes `BENCH_runtime.json`.
+
+use rrs_bench::Harness;
+use rrs_error::{Budget, CancelToken};
+use rrs_grid::Window;
+use rrs_obs::Recorder;
+use rrs_spectrum::{Gaussian, SurfaceParams};
+use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, KernelSizing, NoiseField};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 192;
+const ROW: usize = 256;
+const ROWS: usize = 4096;
+const WORKERS: usize = 2;
+
+/// The band closure all three primitive variants run: a cheap, purely
+/// row-local fill so the measurement is dominated by the dispatch
+/// machinery rather than arithmetic.
+fn fill(row0: usize, band: &mut [f64]) {
+    for (i, x) in band.iter_mut().enumerate() {
+        *x = (row0 * ROW + i) as f64 * 1.0000001;
+    }
+}
+
+fn main() {
+    let mut h = Harness::new("runtime").with_reps(15);
+    let obs = Recorder::disabled();
+
+    // --- The primitive, three ways. ---
+    let mut buf = vec![0.0f64; ROW * ROWS];
+
+    h.bench_elems("runtime/par_baseline", (ROW * ROWS) as u64, || {
+        rrs_par::try_par_row_chunks_mut_observed(&mut buf, ROW, WORKERS, &obs, fill).unwrap();
+        black_box(buf[0])
+    });
+
+    let unlimited = Budget::unlimited();
+    h.bench_elems("runtime/budgeted_unlimited", (ROW * ROWS) as u64, || {
+        rrs_par::try_par_row_chunks_mut_budgeted(&mut buf, ROW, WORKERS, &obs, &unlimited, fill)
+            .unwrap();
+        black_box(buf[0])
+    });
+
+    let armed = Budget::unlimited()
+        .with_cancel_token(CancelToken::new())
+        .with_timeout(Duration::from_secs(3600));
+    h.bench_elems("runtime/budgeted_armed", (ROW * ROWS) as u64, || {
+        rrs_par::try_par_row_chunks_mut_budgeted(&mut buf, ROW, WORKERS, &obs, &armed, fill)
+            .unwrap();
+        black_box(buf[0])
+    });
+
+    // --- Full generator, informational. ---
+    let s = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
+    let kernel = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
+    let noise = NoiseField::new(42);
+    let win = Window::sized(N, N);
+
+    let plain = ConvolutionGenerator::from_kernel(kernel.clone()).with_workers(1);
+    h.bench_elems("runtime/conv_no_budget", (N * N) as u64, || {
+        black_box(plain.generate(&noise, win))
+    });
+
+    let armed_gen = ConvolutionGenerator::from_kernel(kernel)
+        .with_workers(1)
+        .with_budget(
+            Budget::unlimited()
+                .with_cancel_token(CancelToken::new())
+                .with_timeout(Duration::from_secs(3600))
+                .with_max_bytes(usize::MAX),
+        );
+    h.bench_elems("runtime/conv_armed_budget", (N * N) as u64, || {
+        black_box(armed_gen.try_generate(&noise, win).unwrap())
+    });
+
+    // Cross-check while we are here: budgets must never steer output.
+    assert_eq!(
+        plain.generate(&noise, win),
+        armed_gen.try_generate(&noise, win).unwrap(),
+        "armed budget changed the surface"
+    );
+
+    let records = h.finish().expect("write BENCH_runtime.json");
+    let min_of = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name.ends_with(name))
+            .map(|r| r.min_ns)
+            .expect("record present")
+    };
+    let base = min_of("par_baseline");
+    let unlimited_ratio = min_of("budgeted_unlimited") / base;
+    let armed_ratio = min_of("budgeted_armed") / base;
+    let conv_ratio = min_of("conv_armed_budget") / min_of("conv_no_budget");
+    println!("budgeted-unlimited/baseline (min-of-reps): {unlimited_ratio:.3}x  (gate: < 1.5x)");
+    println!("budgeted-armed/baseline     (min-of-reps): {armed_ratio:.3}x  (informational)");
+    println!("conv armed/no-budget        (min-of-reps): {conv_ratio:.3}x  (informational)");
+
+    if unlimited_ratio >= 1.5 {
+        eprintln!(
+            "FAIL: the unlimited budget costs {unlimited_ratio:.3}x the pre-budget \
+             primitive — the no-budget path is no longer free"
+        );
+        std::process::exit(1);
+    }
+    println!("runtime budget overhead gate passed");
+}

@@ -38,6 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
+
+pub use budget::{Budget, CancelToken};
+
 use std::error::Error as StdError;
 use std::fmt;
 use std::io;
@@ -60,6 +64,12 @@ pub enum ErrorKind {
     CorruptSnapshot,
     /// An operating-system I/O failure.
     Io,
+    /// The request's cancel token was tripped.
+    Cancelled,
+    /// The request's wall-clock deadline passed.
+    DeadlineExceeded,
+    /// Admission control rejected the request's memory footprint.
+    BudgetExceeded,
 }
 
 /// The workspace-wide error type.
@@ -112,6 +122,23 @@ pub enum RrsError {
     },
     /// An operating-system I/O failure.
     Io(io::Error),
+    /// The request's [`CancelToken`] was tripped; workers stopped at the
+    /// next band/tile poll and no partial output was handed out.
+    Cancelled,
+    /// The request's [`Budget`] deadline passed before generation
+    /// finished.
+    DeadlineExceeded,
+    /// Admission control: materialising the request would exceed the
+    /// [`Budget`] byte ceiling. Raised *before* any allocation.
+    BudgetExceeded {
+        /// What was about to be materialised (e.g. `"convolution
+        /// generation"`).
+        what: &'static str,
+        /// Bytes the request would have needed.
+        required_bytes: u128,
+        /// The configured ceiling.
+        max_bytes: usize,
+    },
     /// A lower-level error wrapped with a higher-level context line.
     Context {
         /// The higher-level operation that failed.
@@ -172,6 +199,9 @@ impl RrsError {
             Self::WorkerPanicked { .. } => ErrorKind::WorkerPanicked,
             Self::CorruptSnapshot { .. } => ErrorKind::CorruptSnapshot,
             Self::Io(_) => ErrorKind::Io,
+            Self::Cancelled => ErrorKind::Cancelled,
+            Self::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            Self::BudgetExceeded { .. } => ErrorKind::BudgetExceeded,
             Self::Context { source, .. } => source.kind(),
         }
     }
@@ -205,6 +235,12 @@ impl fmt::Display for RrsError {
             }
             Self::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
             Self::Io(e) => write!(f, "I/O failure: {e}"),
+            Self::Cancelled => f.write_str("request cancelled by caller"),
+            Self::DeadlineExceeded => f.write_str("request deadline exceeded"),
+            Self::BudgetExceeded { what, required_bytes, max_bytes } => write!(
+                f,
+                "{what} requires {required_bytes} bytes, exceeding the byte budget of {max_bytes}"
+            ),
             Self::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }

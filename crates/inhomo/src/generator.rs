@@ -12,9 +12,9 @@
 //! one kernel is active (the bulk of the surface) cost exactly one
 //! homogeneous-kernel dot product.
 
-use rrs_error::RrsError;
+use rrs_error::{Budget, RrsError};
 use rrs_grid::{Grid2, Window};
-use rrs_obs::{stage, Recorder};
+use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::SpectrumModel;
 use rrs_surface::{ConvolutionKernel, KernelSizing, NoiseField};
 
@@ -50,6 +50,7 @@ pub struct InhomogeneousGenerator<M> {
     kernels: Vec<ConvolutionKernel>,
     workers: usize,
     obs: Recorder,
+    budget: Budget,
     // Precomputed reaches for noise-window sizing.
     reach_left: i64,
     reach_right: i64,
@@ -132,6 +133,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             kernels,
             workers: rrs_par::default_workers(),
             obs: Recorder::disabled(),
+            budget: Budget::unlimited(),
             reach_left,
             reach_right,
             reach_down,
@@ -159,6 +161,21 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         &self.obs
     }
 
+    /// Attaches a resource [`Budget`]: deadline/cancel polled at band
+    /// granularity during blending, byte ceiling enforced before the
+    /// noise window and output field are allocated. Defaults to
+    /// [`Budget::unlimited`], under which generation is bit-identical to
+    /// the unbudgeted path.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The attached budget ([`Budget::unlimited`] by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
     /// The kernels, in map order.
     pub fn kernels(&self) -> &[ConvolutionKernel] {
         &self.kernels
@@ -171,13 +188,23 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
 
     /// Fallible [`InhomogeneousGenerator::generate`]: reports worker
     /// panics as [`RrsError::WorkerPanicked`] instead of propagating the
-    /// unwind.
+    /// unwind. With a [`Budget`] attached, a tripped cancel/deadline
+    /// returns before any allocation and a byte ceiling rejects
+    /// oversized requests with [`RrsError::BudgetExceeded`] before the
+    /// noise window or output field is materialised.
     pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
+        self.budget.check()?;
         let Window { x0, y0, nx, ny } = win;
         let wx0 = x0 - self.reach_left;
         let wy0 = y0 - self.reach_down;
         let ww = nx + (self.reach_left + self.reach_right) as usize;
         let wh = ny + (self.reach_down + self.reach_up) as usize;
+        // Noise window plus output field, estimated in u128 before either
+        // is allocated.
+        let required = (ww as u128 * wh as u128 + nx as u128 * ny as u128) * 8;
+        self.budget.admit("inhomogeneous generation", required).inspect_err(|_| {
+            self.obs.add_counter(stage::BUDGET_REJECT, 1);
+        })?;
         let span = self.obs.start(stage::WINDOW_MATERIALISE);
         let noise_win = noise.window(wx0, wy0, ww, wh);
         self.obs.finish(span);
@@ -185,11 +212,12 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
         let span = self.obs.start(stage::CORRELATE);
-        rrs_par::try_par_row_chunks_mut_observed(
+        rrs_par::try_par_row_chunks_mut_budgeted(
             out_slice,
             nx,
             self.workers,
             &self.obs,
+            &self.budget,
             |iy0, chunk| {
                 let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
                 let mut pure = 0u64;
@@ -465,6 +493,51 @@ mod tests {
     fn kernel_count_mismatch_rejected() {
         let layout = PlateLayout::new(vec![], Some(sm(1.0, 4.0)), 1.0);
         let _ = InhomogeneousGenerator::from_kernels(layout, vec![]);
+    }
+
+    #[test]
+    fn budgeted_idle_run_is_bit_identical_and_rejections_are_precise() {
+        use rrs_error::{Budget, CancelToken, ErrorKind};
+        let layout = quadrant_layout(
+            48.0,
+            48.0,
+            [sm(1.0, 4.0), sm(1.5, 5.0), sm(2.0, 6.0), sm(1.5, 5.0)],
+            6.0,
+        );
+        let k: Vec<_> = layout
+            .spectra()
+            .iter()
+            .map(|s| ConvolutionKernel::build(s, sizing()))
+            .collect();
+        let plain = InhomogeneousGenerator::from_kernels(layout.clone(), k.clone())
+            .with_workers(3)
+            .generate(&NoiseField::new(5), Window::sized(48, 48));
+        let budget = Budget::unlimited()
+            .with_cancel_token(CancelToken::new())
+            .with_timeout(std::time::Duration::from_secs(3600))
+            .with_max_bytes(usize::MAX);
+        let gen = InhomogeneousGenerator::from_kernels(layout, k)
+            .with_workers(3)
+            .with_budget(budget);
+        assert_eq!(
+            gen.try_generate(&NoiseField::new(5), Window::sized(48, 48)).unwrap(),
+            plain,
+            "armed-but-idle budget must not change a single bit"
+        );
+
+        // Pre-cancelled: fails before the huge window is ever allocated.
+        let token = CancelToken::new();
+        token.cancel();
+        let gen = gen.with_budget(Budget::unlimited().with_cancel_token(token));
+        let huge = Window::sized(1 << 28, 1 << 28);
+        let err = gen.try_generate(&NoiseField::new(5), huge).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Cancelled);
+
+        // Admission: oversized request is rejected with the precise error.
+        let gen = gen.with_budget(Budget::unlimited().with_max_bytes(1 << 20));
+        let err = gen.try_generate(&NoiseField::new(5), huge).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BudgetExceeded);
+        assert!(err.to_string().contains("inhomogeneous generation"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Crash-atomic durable file writes: tmp + fsync + rename.
+//!
+//! Every path-based exporter in this crate routes through [`AtomicFile`]
+//! so that a crash, a full disk or an injected fault mid-write can never
+//! leave a torn file at the final path. The protocol is the classic one:
+//!
+//! 1. write the full payload to `<path>.<pid>.tmp` in the same directory
+//!    (same filesystem, so the rename below cannot degrade to a copy);
+//! 2. `fsync` the tmp file — the payload is durable before it becomes
+//!    visible;
+//! 3. `rename` the tmp file over the final path — atomic on POSIX
+//!    filesystems, so readers observe either the old complete file or the
+//!    new complete file, never a prefix;
+//! 4. best-effort `fsync` of the parent directory, making the rename
+//!    itself durable.
+//!
+//! If any step fails (or the [`AtomicFile`] is dropped without
+//! [`AtomicFile::commit`]), the tmp file is removed and the final path is
+//! untouched — the failure-atomicity the `failpoints` suite proves with
+//! injected mid-write faults.
+
+use rrs_error::{ResultExt, RrsError};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// An in-progress atomic replacement of the file at `path`.
+///
+/// Write the payload through [`AtomicFile::writer`], then
+/// [`AtomicFile::commit`]. Dropping without committing removes the tmp
+/// file and leaves the destination untouched.
+#[derive(Debug)]
+pub struct AtomicFile {
+    dest: PathBuf,
+    tmp: PathBuf,
+    file: Option<File>,
+}
+
+impl AtomicFile {
+    /// Opens the tmp file next to `dest` (`<dest>.<pid>.tmp`).
+    pub fn create<P: AsRef<Path>>(dest: P) -> Result<Self, RrsError> {
+        let dest = dest.as_ref().to_path_buf();
+        let mut name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "rrs".into());
+        name.push(format!(".{}.tmp", std::process::id()));
+        let tmp = dest.with_file_name(name);
+        let file = File::create(&tmp)
+            .map_err(RrsError::from)
+            .with_context(|| format!("creating tmp file {}", tmp.display()))?;
+        Ok(Self { dest, tmp, file: Some(file) })
+    }
+
+    /// The open tmp file to write the payload into.
+    pub fn writer(&mut self) -> &mut File {
+        self.file.as_mut().expect("writer called after commit")
+    }
+
+    /// Flushes and fsyncs the payload, then atomically renames the tmp
+    /// file over the destination (with a best-effort parent-directory
+    /// fsync so the rename itself is durable).
+    pub fn commit(mut self) -> Result<(), RrsError> {
+        let mut file = self.file.take().expect("commit called twice");
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.dest)
+            .map_err(RrsError::from)
+            .with_context(|| format!("renaming over {}", self.dest.display()))
+            .inspect_err(|_| {
+                let _ = std::fs::remove_file(&self.tmp);
+            })?;
+        // Durability of the rename is best-effort: not every platform
+        // allows opening a directory for fsync, and the payload itself is
+        // already durable either way.
+        if let Some(parent) = self.dest.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Writes a file crash-atomically: `write(w)` produces the payload into
+/// the tmp file, and only a fully-written, fsynced payload ever reaches
+/// `path`. On any error the destination is untouched (previous content,
+/// if any, intact) and the tmp file is cleaned up.
+pub fn write_atomic<P, F>(path: P, write: F) -> Result<(), RrsError>
+where
+    P: AsRef<Path>,
+    F: FnOnce(&mut dyn Write) -> Result<(), RrsError>,
+{
+    let mut af = AtomicFile::create(path)?;
+    write(af.writer())?;
+    af.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rrs_atomic_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn leftovers(dir: &Path) -> Vec<PathBuf> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect()
+    }
+
+    #[test]
+    fn successful_write_leaves_payload_and_no_tmp() {
+        let dir = tmp_dir("ok");
+        let dest = dir.join("out.bin");
+        write_atomic(&dest, |w| {
+            w.write_all(b"payload")?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"payload");
+        assert!(leftovers(&dir).is_empty(), "tmp file must not survive a commit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_preserves_previous_content() {
+        let dir = tmp_dir("fail");
+        let dest = dir.join("out.bin");
+        std::fs::write(&dest, b"previous good content").unwrap();
+        let err = write_atomic(&dest, |w| {
+            w.write_all(b"half a payl")?;
+            Err(RrsError::corrupt_snapshot("injected failure mid-write"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(
+            std::fs::read(&dest).unwrap(),
+            b"previous good content",
+            "destination must be untouched on failure"
+        );
+        assert!(leftovers(&dir).is_empty(), "tmp file must be cleaned up on failure");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_never_creates_the_destination() {
+        let dir = tmp_dir("absent");
+        let dest = dir.join("new.bin");
+        let _ = write_atomic(&dest, |_| {
+            Err::<(), _>(RrsError::corrupt_snapshot("boom"))
+        });
+        assert!(!dest.exists(), "a failed first write must not create the file");
+        assert!(leftovers(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_in_missing_directory_is_a_context_rich_error() {
+        let dest = std::env::temp_dir()
+            .join(format!("rrs_atomic_missing_{}", std::process::id()))
+            .join("nope")
+            .join("out.bin");
+        let err = write_atomic(&dest, |_| Ok(())).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::Io);
+        assert!(err.to_string().contains("tmp file"), "{err}");
+    }
+}

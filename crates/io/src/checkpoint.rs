@@ -18,6 +18,8 @@
 //! corrupted checkpoint detectable, so a crashed run falls back to the
 //! previous good checkpoint instead of silently resuming from garbage.
 
+use crate::atomic::AtomicFile;
+use crate::retry::RetryPolicy;
 use crate::snapshot::{fnv1a, read_u64_le};
 use rrs_error::RrsError;
 use rrs_obs::{stage, ObsSink, Recorder};
@@ -54,9 +56,10 @@ pub fn write_checkpoint<W: Write>(mut w: W, cp: &StreamCheckpoint) -> Result<(),
     Ok(())
 }
 
-/// Writes a checkpoint to `path` and syncs it to stable storage
-/// (create + write, then `fsync`), so a torn write can never replace a
-/// good checkpoint with garbage silently — the checksum catches it.
+/// Writes a checkpoint to `path` crash-atomically: the record goes to a
+/// tmp file first, is fsynced, and only then renamed over `path`, so a
+/// crash mid-write can never replace a good checkpoint with a torn one —
+/// the previous checkpoint survives intact.
 pub fn write_checkpoint_file<P: AsRef<Path>>(
     path: P,
     cp: &StreamCheckpoint,
@@ -65,23 +68,40 @@ pub fn write_checkpoint_file<P: AsRef<Path>>(
 }
 
 /// [`write_checkpoint_file`] with the write and the durability barrier
-/// timed separately (`checkpoint/write`, `checkpoint/fsync`) and bytes
-/// counted (`checkpoint/bytes`) — fsync dominates on most filesystems,
-/// and this split makes that visible in resume benchmarks.
+/// timed separately (`checkpoint/write`, `checkpoint/fsync` — the latter
+/// covering fsync + rename) and bytes counted (`checkpoint/bytes`) —
+/// fsync dominates on most filesystems, and this split makes that visible
+/// in resume benchmarks.
 pub fn write_checkpoint_file_observed<P: AsRef<Path>>(
     path: P,
     cp: &StreamCheckpoint,
     obs: &Recorder,
 ) -> Result<(), RrsError> {
     let span = obs.start(stage::CHECKPOINT_WRITE);
-    let mut file = std::fs::File::create(path)?;
-    write_checkpoint(&mut file, cp)?;
+    let mut af = AtomicFile::create(path)?;
+    write_checkpoint(af.writer(), cp)?;
     obs.finish(span);
     let span = obs.start(stage::CHECKPOINT_FSYNC);
-    file.sync_all()?;
+    af.commit()?;
     obs.finish(span);
     obs.add_counter(stage::CHECKPOINT_BYTES, CHECKPOINT_LEN as u64);
     Ok(())
+}
+
+/// [`write_checkpoint_file_observed`] wrapped in a [`RetryPolicy`]:
+/// transient I/O faults (a briefly-full disk, an injected `failpoints`
+/// fault) are retried with deterministic exponential backoff before the
+/// stream gives up, and every attempt is visible in the obs report
+/// (`retry/attempts`, `retry/backoff`). Each attempt is itself atomic, so
+/// a failed attempt never corrupts the previous checkpoint.
+pub fn write_checkpoint_file_retrying<P: AsRef<Path>>(
+    path: P,
+    cp: &StreamCheckpoint,
+    policy: RetryPolicy,
+    obs: &Recorder,
+) -> Result<(), RrsError> {
+    let path = path.as_ref();
+    policy.run(obs, || write_checkpoint_file_observed(path, cp, obs))
 }
 
 /// Reads and validates a checkpoint from `path`.
@@ -167,6 +187,37 @@ mod tests {
         buf[0] = b'X';
         let err = read_checkpoint(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn retrying_write_succeeds_first_try_with_one_counted_attempt() {
+        let path = std::env::temp_dir()
+            .join(format!("rrs_ckpt_retry_{}.bin", std::process::id()));
+        let rec = Recorder::enabled();
+        write_checkpoint_file_retrying(&path, &sample(), RetryPolicy::default(), &rec).unwrap();
+        let got = read_checkpoint_file(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(got, sample());
+        assert_eq!(rec.report().counter(stage::RETRY_ATTEMPTS), 1);
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_checkpoint_without_tmp_leftovers() {
+        let dir = std::env::temp_dir()
+            .join(format!("rrs_ckpt_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.ckpt");
+        write_checkpoint_file(&path, &sample()).unwrap();
+        let newer = StreamCheckpoint { cursor: sample().cursor + 64, ..sample() };
+        write_checkpoint_file(&path, &newer).unwrap();
+        assert_eq!(read_checkpoint_file(&path).unwrap(), newer);
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(stray.is_empty(), "tmp files leaked: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

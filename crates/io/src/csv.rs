@@ -68,6 +68,15 @@ pub fn read_matrix_csv<R: Read>(r: R) -> io::Result<Grid2<f64>> {
     Ok(Grid2::from_vec(nx, ny, data))
 }
 
+/// Writes a matrix CSV to `path` crash-atomically (tmp + fsync + rename):
+/// a fault mid-export never leaves a torn file at `path`.
+pub fn try_write_matrix_csv_file<P: AsRef<std::path::Path>>(
+    path: P,
+    grid: &Grid2<f64>,
+) -> Result<(), RrsError> {
+    crate::atomic::write_atomic(path, |w| try_write_matrix_csv(w, grid))
+}
+
 /// Writes the surface in long `x,y,height` format with a header row —
 /// convenient for dataframe tooling. Non-finite heights are rejected.
 pub fn write_xyz_csv<W: Write>(w: W, grid: &Grid2<f64>) -> io::Result<()> {
@@ -87,6 +96,15 @@ pub fn try_write_xyz_csv<W: Write>(w: W, grid: &Grid2<f64>) -> Result<(), RrsErr
     }
     w.flush()?;
     Ok(())
+}
+
+/// Writes an `x,y,height` CSV to `path` crash-atomically (tmp + fsync +
+/// rename).
+pub fn try_write_xyz_csv_file<P: AsRef<std::path::Path>>(
+    path: P,
+    grid: &Grid2<f64>,
+) -> Result<(), RrsError> {
+    crate::atomic::write_atomic(path, |w| try_write_xyz_csv(w, grid))
 }
 
 #[cfg(test)]

@@ -116,6 +116,23 @@ pub fn try_write_ppm<W: Write>(w: W, grid: &Grid2<f64>) -> Result<(), RrsError> 
     Ok(())
 }
 
+/// Writes a PGM heightmap to `path` crash-atomically (tmp + fsync +
+/// rename): a fault mid-render never leaves a torn image at `path`.
+pub fn try_write_pgm_file<P: AsRef<std::path::Path>>(
+    path: P,
+    grid: &Grid2<f64>,
+) -> Result<(), RrsError> {
+    crate::atomic::write_atomic(path, |w| try_write_pgm(w, grid))
+}
+
+/// Writes a PPM render to `path` crash-atomically (tmp + fsync + rename).
+pub fn try_write_ppm_file<P: AsRef<std::path::Path>>(
+    path: P,
+    grid: &Grid2<f64>,
+) -> Result<(), RrsError> {
+    crate::atomic::write_atomic(path, |w| try_write_ppm(w, grid))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

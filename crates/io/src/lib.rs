@@ -11,7 +11,13 @@
 //! * [`snapshot`] — an exact binary round-trip format (magic + shape +
 //!   little-endian `f64`s + FNV-1a checksum), hand-rolled on `std` alone;
 //! * [`checkpoint`] — the 40-byte crash-safe resume record for streaming
-//!   strip generation.
+//!   strip generation;
+//! * [`atomic`] — the tmp + fsync + rename protocol every path-based
+//!   writer above routes through, so a crash or injected fault mid-export
+//!   never leaves a torn file at the final path;
+//! * [`retry`] — deterministic bounded retry with exponential backoff for
+//!   durable writes, with an injectable [`retry::Sleeper`] so fault-
+//!   injection tests run instantly.
 //!
 //! Every writer/reader has a `try_*` twin returning
 //! `Result<_, `[`RrsError`]`>`; the plain variants keep their historical
@@ -23,25 +29,32 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod checkpoint;
 pub mod csv;
 #[cfg(feature = "failpoints")]
 pub mod fault;
 pub mod gnuplot;
 pub mod image;
+pub mod retry;
 pub mod snapshot;
 
+pub use atomic::{write_atomic, AtomicFile};
 pub use checkpoint::{
     read_checkpoint, read_checkpoint_file, write_checkpoint, write_checkpoint_file,
-    write_checkpoint_file_observed, StreamCheckpoint,
+    write_checkpoint_file_observed, write_checkpoint_file_retrying, StreamCheckpoint,
 };
 pub use csv::{
-    read_matrix_csv, try_write_matrix_csv, try_write_xyz_csv, write_matrix_csv, write_xyz_csv,
+    read_matrix_csv, try_write_matrix_csv, try_write_matrix_csv_file, try_write_xyz_csv,
+    try_write_xyz_csv_file, write_matrix_csv, write_xyz_csv,
 };
 pub use gnuplot::write_gnuplot_matrix;
-pub use image::{try_write_pgm, try_write_ppm, write_pgm, write_ppm};
+pub use image::{
+    try_write_pgm, try_write_pgm_file, try_write_ppm, try_write_ppm_file, write_pgm, write_ppm,
+};
+pub use retry::{RetryPolicy, Sleeper, ThreadSleeper};
 pub use rrs_error::RrsError;
 pub use snapshot::{
-    read_snapshot, try_read_snapshot, try_write_snapshot, try_write_snapshot_observed,
-    write_snapshot,
+    read_snapshot, try_read_snapshot, try_write_snapshot, try_write_snapshot_file,
+    try_write_snapshot_file_observed, try_write_snapshot_observed, write_snapshot,
 };

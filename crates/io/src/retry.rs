@@ -1,0 +1,239 @@
+//! Deterministic retry with exponential backoff for durable writes.
+//!
+//! Checkpoint and snapshot writes sit on the other side of the filesystem
+//! fault boundary: a transient `EIO`, a briefly-full disk or an injected
+//! `failpoints` fault should not kill an hours-long streaming run. A
+//! [`RetryPolicy`] wraps such a write and retries *transient* failures
+//! (I/O errors) a bounded number of times with exponential backoff, while
+//! failing immediately on anything that retrying cannot fix (corruption,
+//! invalid parameters, budget trips).
+//!
+//! Determinism: the backoff for attempt `k` is the pure function
+//! `base_delay · 2^(k−1)` — no jitter, no clock sampling — so a retry
+//! schedule is reproducible from the policy alone. Sleeping is abstracted
+//! behind [`Sleeper`] so tests (and the `failpoints` suite) inject a
+//! recording no-op sleeper and run instantly; production callers use the
+//! default [`ThreadSleeper`].
+
+use rrs_error::{ErrorKind, RrsError};
+use rrs_obs::{stage, ObsSink, Recorder};
+use std::time::Duration;
+
+/// How to wait between attempts. Injectable so tests run instantly.
+pub trait Sleeper {
+    /// Blocks for (or records) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production sleeper: `std::thread::sleep`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A bounded, deterministic retry schedule for fallible I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (the `k+1`-th attempt) is
+    /// `base_delay · 2^(k−1)`.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base — first retry after 10 ms, second after
+    /// a further 20 ms.
+    fn default() -> Self {
+        Self { max_attempts: 3, base_delay: Duration::from_millis(10) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts and the default base
+    /// delay.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        Self { max_attempts, ..Self::default() }
+    }
+
+    /// The deterministic backoff before attempt `attempt` (1-based; the
+    /// first attempt has no backoff).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            Duration::ZERO
+        } else {
+            self.base_delay.saturating_mul(1u32 << (attempt - 2).min(30))
+        }
+    }
+
+    /// Runs `op` under this policy with the production sleeper.
+    pub fn run<T, F>(&self, obs: &Recorder, mut op: F) -> Result<T, RrsError>
+    where
+        F: FnMut() -> Result<T, RrsError>,
+    {
+        self.run_with_sleeper(obs, &ThreadSleeper, &mut op)
+    }
+
+    /// Runs `op` until it succeeds, fails permanently, or the attempt
+    /// budget is exhausted.
+    ///
+    /// Only [`ErrorKind::Io`] failures are treated as transient and
+    /// retried; every other kind fails closed immediately (retrying a
+    /// corrupt payload or an exceeded budget cannot succeed). Each attempt
+    /// ticks [`stage::RETRY_ATTEMPTS`] and each backoff slept is recorded
+    /// in the [`stage::RETRY_BACKOFF`] duration histogram. On exhaustion
+    /// the final error is wrapped with the attempt history.
+    pub fn run_with_sleeper<T, F, S>(
+        &self,
+        obs: &Recorder,
+        sleeper: &S,
+        op: &mut F,
+    ) -> Result<T, RrsError>
+    where
+        F: FnMut() -> Result<T, RrsError>,
+        S: Sleeper + ?Sized,
+    {
+        let attempts = self.max_attempts.max(1);
+        let mut history = String::new();
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                let delay = self.backoff(attempt);
+                let span = obs.start(stage::RETRY_BACKOFF);
+                sleeper.sleep(delay);
+                obs.finish(span);
+            }
+            obs.add_counter(stage::RETRY_ATTEMPTS, 1);
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == ErrorKind::Io && attempt < attempts => {
+                    if !history.is_empty() {
+                        history.push_str("; ");
+                    }
+                    history.push_str(&format!("attempt {attempt}: {e}"));
+                }
+                Err(e) if e.kind() == ErrorKind::Io => {
+                    return Err(e.with_context(format!(
+                        "persistent I/O failure after {attempts} attempts \
+                         (earlier: {})",
+                        if history.is_empty() { "none" } else { &history },
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the final attempt")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Records requested sleeps instead of blocking.
+    struct RecordingSleeper(RefCell<Vec<Duration>>);
+
+    impl Sleeper for RecordingSleeper {
+        fn sleep(&self, d: Duration) {
+            self.0.borrow_mut().push(d);
+        }
+    }
+
+    fn io_err(msg: &str) -> RrsError {
+        RrsError::from(std::io::Error::other(msg.to_string()))
+    }
+
+    #[test]
+    fn backoff_is_a_pure_exponential_of_the_attempt() {
+        let p = RetryPolicy { max_attempts: 5, base_delay: Duration::from_millis(10) };
+        assert_eq!(p.backoff(1), Duration::ZERO);
+        assert_eq!(p.backoff(2), Duration::from_millis(10));
+        assert_eq!(p.backoff(3), Duration::from_millis(20));
+        assert_eq!(p.backoff(4), Duration::from_millis(40));
+        // Saturates instead of overflowing for absurd attempt numbers.
+        let _ = p.backoff(u32::MAX);
+    }
+
+    #[test]
+    fn transient_fault_recovers_with_counted_attempts() {
+        let fails = AtomicU32::new(2);
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let policy = RetryPolicy::default();
+        let out = policy
+            .run_with_sleeper(&rec, &sleeper, &mut || {
+                if fails.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    Err(io_err("transient"))
+                } else {
+                    Ok(42)
+                }
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        let report = rec.report();
+        assert_eq!(report.counter(stage::RETRY_ATTEMPTS), 3);
+        assert_eq!(report.durations[stage::RETRY_BACKOFF].count, 2);
+        assert_eq!(
+            *sleeper.0.borrow(),
+            vec![Duration::from_millis(10), Duration::from_millis(20)],
+            "deterministic exponential schedule"
+        );
+    }
+
+    #[test]
+    fn persistent_fault_fails_closed_with_attempt_history() {
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let policy = RetryPolicy::default();
+        let err = policy
+            .run_with_sleeper::<(), _, _>(&rec, &sleeper, &mut || Err(io_err("disk on fire")))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io, "kind penetrates the context wrapper");
+        let msg = err.to_string();
+        assert!(msg.contains("after 3 attempts"), "{msg}");
+        assert!(msg.contains("attempt 1") && msg.contains("attempt 2"), "{msg}");
+        assert_eq!(rec.report().counter(stage::RETRY_ATTEMPTS), 3);
+    }
+
+    #[test]
+    fn non_io_errors_are_not_retried() {
+        let calls = AtomicU32::new(0);
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let err = RetryPolicy::default()
+            .run_with_sleeper::<(), _, _>(&rec, &sleeper, &mut || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(RrsError::corrupt_snapshot("retrying cannot fix this"))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "permanent failure: exactly one attempt");
+        assert!(sleeper.0.borrow().is_empty());
+    }
+
+    #[test]
+    fn success_on_first_attempt_never_sleeps() {
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let out = RetryPolicy::default()
+            .run_with_sleeper(&rec, &sleeper, &mut || Ok(7))
+            .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(rec.report().counter(stage::RETRY_ATTEMPTS), 1);
+        assert!(sleeper.0.borrow().is_empty());
+    }
+
+    #[test]
+    fn zero_attempts_is_clamped_to_one() {
+        let policy = RetryPolicy { max_attempts: 0, base_delay: Duration::ZERO };
+        let out = policy.run(&Recorder::disabled(), || Ok::<_, RrsError>(1)).unwrap();
+        assert_eq!(out, 1);
+    }
+}

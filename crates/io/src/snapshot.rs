@@ -67,6 +67,28 @@ pub fn try_write_snapshot_observed<W: Write>(
     obs.time(stage::EXPORT_SNAPSHOT, || try_write_snapshot(w, grid))
 }
 
+/// Writes a snapshot to `path` crash-atomically (tmp + fsync + rename):
+/// a crash or fault mid-export can never leave a torn snapshot at `path`
+/// — the previous file, if any, survives intact.
+pub fn try_write_snapshot_file<P: AsRef<std::path::Path>>(
+    path: P,
+    grid: &Grid2<f64>,
+) -> Result<(), RrsError> {
+    try_write_snapshot_file_observed(path, grid, &Recorder::disabled())
+}
+
+/// [`try_write_snapshot_file`] timed as one `export/snapshot`
+/// observation.
+pub fn try_write_snapshot_file_observed<P: AsRef<std::path::Path>>(
+    path: P,
+    grid: &Grid2<f64>,
+    obs: &Recorder,
+) -> Result<(), RrsError> {
+    obs.time(stage::EXPORT_SNAPSHOT, || {
+        crate::atomic::write_atomic(path, |w| try_write_snapshot(w, grid))
+    })
+}
+
 pub(crate) fn read_u64_le(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
 }

@@ -122,4 +122,115 @@ props! {
             .expect_err("corrupt checkpoint must not decode");
         assert_eq!(err.kind(), ErrorKind::CorruptSnapshot, "bit {bit}: {err}");
     }
+
+    fn mid_export_fault_never_leaves_a_torn_file(
+        nx in 1usize..8, ny in 1usize..8, budget_pick in rrs_check::any::<u64>(),
+        grid_seed in rrs_check::any::<u64>(), case in rrs_check::any::<u64>(),
+    ) {
+        // A fault-injected export through the atomic writer must leave the
+        // destination exactly as it was: the previous good snapshot (if
+        // any) intact, and never a decodable-but-wrong or torn file.
+        let old = sample_grid(&mut CaseRng::new(grid_seed), nx, ny);
+        let new = sample_grid(&mut CaseRng::new(grid_seed ^ 0x5DEECE66D), nx, ny);
+        let full_len = encode(&new).len();
+        let budget = (budget_pick % full_len as u64) as usize;
+        let dir = std::env::temp_dir()
+            .join(format!("rrs_torn_{}_{case:x}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("field.snap");
+        rrs_io::try_write_snapshot_file(&dest, &old).unwrap();
+
+        let err = rrs_io::write_atomic(&dest, |w| {
+            try_write_snapshot(&mut FailingWriter::new(&mut *w, budget), &new)
+        })
+        .expect_err("fault-injected export must error");
+        assert_eq!(err.kind(), ErrorKind::Io, "budget={budget}: {err}");
+
+        // Previous content survives bit-exactly; no tmp leftovers.
+        let survivor = rrs_io::try_read_snapshot(
+            std::fs::File::open(&dest).unwrap(),
+        ).expect("destination must still hold the previous good snapshot");
+        assert_eq!(survivor, old);
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(stray.is_empty(), "tmp leftovers: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+mod retry_under_injected_faults {
+    use rrs_error::ErrorKind;
+    use rrs_io::checkpoint::{self, StreamCheckpoint, CHECKPOINT_LEN};
+    use rrs_io::fault::FailingWriter;
+    use rrs_io::retry::{RetryPolicy, Sleeper};
+    use rrs_obs::{stage, ObsSink, Recorder};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    /// Records backoffs instead of sleeping, so the suite runs instantly.
+    struct RecordingSleeper(RefCell<Vec<Duration>>);
+
+    impl Sleeper for RecordingSleeper {
+        fn sleep(&self, d: Duration) {
+            self.0.borrow_mut().push(d);
+        }
+    }
+
+    fn cp() -> StreamCheckpoint {
+        StreamCheckpoint { seed: 7, height: 64, cursor: 1024 }
+    }
+
+    #[test]
+    fn transient_injected_faults_recover_within_the_attempt_budget() {
+        // The first two attempts hit a FailingWriter that dies mid-record;
+        // the third writes cleanly. The retry loop must surface success,
+        // and the obs report must carry the full attempt/backoff history.
+        let attempt = AtomicU32::new(0);
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let out = RefCell::new(Vec::new());
+        RetryPolicy::default()
+            .run_with_sleeper(&rec, &sleeper, &mut || {
+                let n = attempt.fetch_add(1, Ordering::SeqCst);
+                if n < 2 {
+                    // Fault: the writer accepts half the record, then dies.
+                    checkpoint::write_checkpoint(
+                        &mut FailingWriter::new(Vec::new(), CHECKPOINT_LEN / 2),
+                        &cp(),
+                    )
+                } else {
+                    checkpoint::write_checkpoint(&mut *out.borrow_mut(), &cp())
+                }
+            })
+            .expect("transient faults below max_attempts must recover");
+        assert_eq!(checkpoint::read_checkpoint(out.borrow().as_slice()).unwrap(), cp());
+        let report = rec.report();
+        assert_eq!(report.counter(stage::RETRY_ATTEMPTS), 3, "all attempts counted");
+        assert_eq!(report.durations[stage::RETRY_BACKOFF].count, 2);
+        assert_eq!(
+            *sleeper.0.borrow(),
+            vec![Duration::from_millis(10), Duration::from_millis(20)],
+            "deterministic exponential backoff schedule"
+        );
+    }
+
+    #[test]
+    fn persistent_injected_faults_fail_closed_with_history() {
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let err = RetryPolicy::default()
+            .run_with_sleeper(&rec, &sleeper, &mut || {
+                checkpoint::write_checkpoint(FailingWriter::new(Vec::new(), 0), &cp())
+            })
+            .expect_err("a persistent fault must fail closed");
+        assert_eq!(err.kind(), ErrorKind::Io);
+        let msg = err.to_string();
+        assert!(msg.contains("after 3 attempts"), "{msg}");
+        assert!(msg.contains("attempt 1") && msg.contains("attempt 2"), "{msg}");
+        assert_eq!(rec.report().counter(stage::RETRY_ATTEMPTS), 3);
+    }
 }

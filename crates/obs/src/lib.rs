@@ -70,6 +70,16 @@ pub mod stage {
     pub const CHECKPOINT_BYTES: &str = "checkpoint/bytes";
     /// Surface snapshot export.
     pub const EXPORT_SNAPSHOT: &str = "export/snapshot";
+    /// Counter: cooperative budget polls (cancel/deadline checks) taken
+    /// by workers and tile loops.
+    pub const BUDGET_POLLS: &str = "budget/polls";
+    /// Counter: requests rejected by byte-budget admission control.
+    pub const BUDGET_REJECT: &str = "budget/reject";
+    /// Counter: attempts made by retrying durable writers (first try
+    /// included, so a fault-free write counts 1).
+    pub const RETRY_ATTEMPTS: &str = "retry/attempts";
+    /// Histogram: backoff delay scheduled before each retry attempt.
+    pub const RETRY_BACKOFF: &str = "retry/backoff";
     /// Counter: parallel bands executed.
     pub const PAR_BANDS: &str = "par/bands";
     /// Counter: worker bands whose closure panicked.

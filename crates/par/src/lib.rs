@@ -41,7 +41,7 @@
 
 #![warn(missing_docs)]
 
-use rrs_error::RrsError;
+use rrs_error::{Budget, RrsError};
 use rrs_obs::{stage, ObsSink, Recorder};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -293,6 +293,135 @@ where
         }
     });
     obs.add_counter(stage::PAR_BANDS, bands);
+    if panics > 0 {
+        obs.add_counter(stage::PAR_WORKER_PANICS, panics);
+    }
+    first.map_or(Ok(()), Err)
+}
+
+/// Poll slices per worker band in budgeted mode: each worker checks its
+/// [`Budget`] this many times across its band, so a mid-run cancel or an
+/// expired deadline stops the worker within `rows_per_band / 8` rows of
+/// work instead of only between bands.
+const BUDGET_POLL_SLICES: usize = 8;
+
+/// [`try_par_row_chunks_mut_observed`] with cooperative budget polling.
+///
+/// With a budget that needs no polling (no deadline, no cancel token —
+/// including [`Budget::unlimited`]) this *is*
+/// [`try_par_row_chunks_mut_observed`]: the delegation happens before any
+/// budget machinery runs, so the unbudgeted hot path is unchanged (the
+/// `bench_runtime` gate enforces this).
+///
+/// With a deadline or cancel token present, each worker splits its band
+/// into up to [`BUDGET_POLL_SLICES`] whole-row slices and polls
+/// [`Budget::check`] before each slice (every poll counts one
+/// [`stage::BUDGET_POLLS`]). A tripped budget surfaces as
+/// [`RrsError::Cancelled`] / [`RrsError::DeadlineExceeded`] from the
+/// lowest-indexed affected band; slices after the trip do not run.
+///
+/// # Determinism contract
+///
+/// `f` must be *row-decomposable*: running it over any partition of the
+/// same whole rows must produce the same bytes. This is the same contract
+/// the serial-fallback retry already relies on (every workspace band
+/// closure computes each row purely from its global row index), and it is
+/// what makes an untripped budgeted run bit-identical to an unbudgeted
+/// one even though `f` is invoked once per slice rather than once per
+/// band.
+pub fn try_par_row_chunks_mut_budgeted<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    workers: usize,
+    obs: &Recorder,
+    budget: &Budget,
+    f: F,
+) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if !budget.needs_polling() {
+        return try_par_row_chunks_mut_observed(data, row_len, workers, obs, f);
+    }
+    if row_len == 0 {
+        return Err(RrsError::invalid_param("row_len", "row_len must be positive, got 0"));
+    }
+    if data.len() % row_len != 0 {
+        return Err(RrsError::shape_mismatch(
+            "buffer is not whole rows",
+            format!("a multiple of {row_len}"),
+            data.len(),
+        ));
+    }
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        return Ok(());
+    }
+    let workers = workers.max(1).min(rows);
+    let rows_per_band = rows.div_ceil(workers);
+    let poll_rows = rows_per_band.div_ceil(BUDGET_POLL_SLICES).max(1);
+
+    // Runs one worker band slice by slice, polling the budget before each
+    // slice. Returns the polls taken alongside the outcome so the caller
+    // can merge counters after the join.
+    let run_band = |band: usize, band_start_row: usize, band_data: &mut [T]| {
+        let mut polls = 0u64;
+        let mut row = 0usize;
+        for slice in band_data.chunks_mut(poll_rows * row_len) {
+            polls += 1;
+            if let Err(e) = budget.check() {
+                return (polls, Err(e));
+            }
+            if let Err(e) =
+                run_caught(band_start_row + row, slice, &f).map_err(rename_band_to_row(band))
+            {
+                return (polls, Err(e));
+            }
+            row += slice.len() / row_len;
+        }
+        (polls, Ok(()))
+    };
+
+    if workers == 1 {
+        obs.add_counter(stage::PAR_BANDS, 1);
+        let (polls, result) = run_band(0, 0, data);
+        obs.add_counter(stage::BUDGET_POLLS, polls);
+        return result.inspect_err(|e| {
+            if e.kind() == rrs_error::ErrorKind::WorkerPanicked {
+                obs.add_counter(stage::PAR_WORKER_PANICS, 1);
+            }
+        });
+    }
+    let mut first: Option<RrsError> = None;
+    let mut bands = 0u64;
+    let mut panics = 0u64;
+    let mut polls = 0u64;
+    scope(|s| {
+        let handles: Vec<_> = data
+            .chunks_mut(rows_per_band * row_len)
+            .enumerate()
+            .map(|(i, band)| {
+                let run_band = &run_band;
+                s.spawn(move || run_band(i, i * rows_per_band, band))
+            })
+            .collect();
+        for h in handles {
+            bands += 1;
+            let (band_polls, r) = h.join().expect("worker closures are panic-contained");
+            polls += band_polls;
+            if let Err(e) = r {
+                if e.kind() == rrs_error::ErrorKind::WorkerPanicked {
+                    panics += 1;
+                }
+                if first.is_none() {
+                    first = Some(e);
+                }
+            }
+        }
+    });
+    obs.add_counter(stage::PAR_BANDS, bands);
+    obs.add_counter(stage::BUDGET_POLLS, polls);
     if panics > 0 {
         obs.add_counter(stage::PAR_WORKER_PANICS, panics);
     }
@@ -705,6 +834,131 @@ mod tests {
         })
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budgeted_unlimited_is_bit_identical_to_observed() {
+        use rrs_error::Budget;
+        let fill = |r: usize, band: &mut [u64]| {
+            band.iter_mut().enumerate().for_each(|(i, x)| *x = (r * 6 + i) as u64 * 7 + 3)
+        };
+        for workers in [1usize, 3, 8] {
+            let mut a = vec![0u64; 6 * 17];
+            let mut b = vec![0u64; 6 * 17];
+            try_par_row_chunks_mut_observed(&mut a, 6, workers, &Recorder::disabled(), fill)
+                .unwrap();
+            try_par_row_chunks_mut_budgeted(
+                &mut b,
+                6,
+                workers,
+                &Recorder::disabled(),
+                &Budget::unlimited(),
+                fill,
+            )
+            .unwrap();
+            assert_eq!(a, b, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn budgeted_armed_idle_is_bit_identical_and_polls() {
+        use rrs_error::{Budget, CancelToken};
+        let fill = |r: usize, band: &mut [u64]| {
+            band.iter_mut().enumerate().for_each(|(i, x)| *x = (r * 5 + i) as u64 ^ 0xA5)
+        };
+        let budget = Budget::unlimited()
+            .with_cancel_token(CancelToken::new())
+            .with_timeout(std::time::Duration::from_secs(3600));
+        for workers in [1usize, 4] {
+            let rec = Recorder::enabled();
+            let mut a = vec![0u64; 5 * 32];
+            let mut b = vec![0u64; 5 * 32];
+            try_par_row_chunks_mut_observed(&mut a, 5, workers, &Recorder::disabled(), fill)
+                .unwrap();
+            try_par_row_chunks_mut_budgeted(&mut b, 5, workers, &rec, &budget, fill).unwrap();
+            assert_eq!(a, b, "workers={workers}");
+            let report = rec.report();
+            assert_eq!(report.counter(stage::PAR_BANDS), workers as u64);
+            assert!(
+                report.counter(stage::BUDGET_POLLS) >= workers as u64,
+                "each band polls at least once"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_pre_cancelled_leaves_data_untouched() {
+        use rrs_error::{Budget, CancelToken};
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel_token(token);
+        for workers in [1usize, 4] {
+            let mut v = vec![9u64; 6 * 16];
+            let err = try_par_row_chunks_mut_budgeted(&mut v, 6, workers, &Recorder::disabled(),
+                &budget, |_, band| band.iter_mut().for_each(|x| *x = 0))
+            .unwrap_err();
+            assert_eq!(err.kind(), rrs_error::ErrorKind::Cancelled);
+            assert!(v.iter().all(|&x| x == 9), "no slice ran after a pre-tripped poll");
+        }
+    }
+
+    #[test]
+    fn budgeted_past_deadline_is_deadline_exceeded() {
+        use rrs_error::Budget;
+        let budget = Budget::unlimited()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1));
+        for workers in [1usize, 3] {
+            let mut v = vec![1u8; 4 * 8];
+            let err = try_par_row_chunks_mut_budgeted(&mut v, 4, workers, &Recorder::disabled(),
+                &budget, |_, _| {})
+            .unwrap_err();
+            assert_eq!(err.kind(), rrs_error::ErrorKind::DeadlineExceeded, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn budgeted_mid_run_cancel_stops_between_slices() {
+        use rrs_error::{Budget, CancelToken};
+        // Serial (workers=1) so slice order is deterministic: the closure
+        // trips the token while processing the first slice; the poll before
+        // the second slice must observe it and stop.
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().with_cancel_token(token.clone());
+        let rec = Recorder::enabled();
+        let mut v = vec![0u64; 4 * 64]; // 64 rows, 1 band, 8-row poll slices
+        let err = try_par_row_chunks_mut_budgeted(&mut v, 4, 1, &rec, &budget, |row0, band| {
+            band.iter_mut().for_each(|x| *x = 1);
+            if row0 == 0 {
+                token.cancel();
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::Cancelled);
+        let written: u64 = v.iter().sum();
+        assert_eq!(written, 4 * 8, "exactly one 8-row poll slice ran before the cancel");
+        assert_eq!(rec.report().counter(stage::BUDGET_POLLS), 2, "poll, run, poll, stop");
+    }
+
+    #[test]
+    fn budgeted_validates_geometry_and_contains_panics() {
+        use rrs_error::{Budget, CancelToken};
+        let budget = Budget::unlimited().with_cancel_token(CancelToken::new());
+        let mut v = vec![0u8; 10];
+        let err = try_par_row_chunks_mut_budgeted(&mut v, 3, 2, &Recorder::disabled(), &budget,
+            |_, _| {})
+        .unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::ShapeMismatch);
+
+        let rec = Recorder::enabled();
+        let mut v = vec![0u8; 4 * 8];
+        let err = try_par_row_chunks_mut_budgeted(&mut v, 4, 2, &rec, &budget, |row0, _| {
+            if row0 >= 4 {
+                panic!("upper band down");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::WorkerPanicked);
+        assert_eq!(rec.report().counter(stage::PAR_WORKER_PANICS), 1);
     }
 
     #[test]

@@ -21,9 +21,9 @@
 
 use crate::kernel::{ConvolutionKernel, KernelSizing};
 use crate::noise::NoiseField;
-use rrs_error::RrsError;
+use rrs_error::{Budget, RrsError};
 use rrs_grid::{Grid2, Window};
-use rrs_obs::{stage, Recorder};
+use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::Spectrum;
 
 /// Homogeneous surface generator by real-space convolution.
@@ -31,6 +31,7 @@ pub struct ConvolutionGenerator {
     kernel: ConvolutionKernel,
     workers: usize,
     obs: Recorder,
+    budget: Budget,
 }
 
 impl ConvolutionGenerator {
@@ -56,7 +57,12 @@ impl ConvolutionGenerator {
 
     /// Wraps a prebuilt (possibly truncated) kernel.
     pub fn from_kernel(kernel: ConvolutionKernel) -> Self {
-        Self { kernel, workers: rrs_par::default_workers(), obs: Recorder::disabled() }
+        Self {
+            kernel,
+            workers: rrs_par::default_workers(),
+            obs: Recorder::disabled(),
+            budget: Budget::unlimited(),
+        }
     }
 
     /// Sets the worker count (1 = serial). Output is identical for any
@@ -74,6 +80,23 @@ impl ConvolutionGenerator {
         self
     }
 
+    /// Attaches a resource [`Budget`]: a deadline and/or cancel token is
+    /// polled cooperatively at band granularity during correlation, and a
+    /// byte ceiling is enforced by admission control *before* the noise
+    /// window or output field is allocated. The default is
+    /// [`Budget::unlimited`], under which every code path is bit-identical
+    /// to (and as fast as) the unbudgeted generator.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The attached budget ([`Budget::unlimited`] unless
+    /// [`ConvolutionGenerator::with_budget`] was called).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
     /// The kernel in use.
     pub fn kernel(&self) -> &ConvolutionKernel {
         &self.kernel
@@ -85,10 +108,24 @@ impl ConvolutionGenerator {
         &self.obs
     }
 
+    /// Admission control against the attached budget: `required_bytes` is
+    /// the f64 footprint this request would materialise. A rejection ticks
+    /// [`stage::BUDGET_REJECT`] and nothing has been allocated yet.
+    fn admit(&self, what: &'static str, required_samples: u128) -> Result<(), RrsError> {
+        self.budget.admit(what, required_samples * 8).inspect_err(|_| {
+            self.obs.add_counter(stage::BUDGET_REJECT, 1);
+        })
+    }
+
     /// Fallible [`ConvolutionGenerator::generate`]: reports a worker
     /// panic as [`RrsError::WorkerPanicked`](rrs_error::RrsError) instead
-    /// of propagating the unwind.
+    /// of propagating the unwind. With a [`Budget`] attached, an
+    /// already-tripped cancel token / expired deadline returns before any
+    /// allocation, and a byte ceiling rejects an oversized request
+    /// ([`RrsError::BudgetExceeded`]) before the noise window or output
+    /// field is materialised.
     pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
+        self.budget.check()?;
         let (kw, kh) = self.kernel.extent();
         let (ox, oy) = self.kernel.origin();
         // f(n) = Σ_j w̃(j)·X(n−j); offsets j span [ox, ox+kw) × [oy, oy+kh),
@@ -97,6 +134,10 @@ impl ConvolutionGenerator {
         let wy0 = win.y0 - (oy + kh as i64 - 1);
         let ww = win.nx + kw - 1;
         let wh = win.ny + kh - 1;
+        // Noise window plus output field, in u128 so the estimate itself
+        // cannot overflow even for windows far beyond addressable memory.
+        let samples = ww as u128 * wh as u128 + win.nx as u128 * win.ny as u128;
+        self.admit("convolution generation", samples)?;
         let span = self.obs.start(stage::WINDOW_MATERIALISE);
         let noise_win = noise.window(wx0, wy0, ww, wh);
         self.obs.finish(span);
@@ -154,11 +195,12 @@ impl ConvolutionGenerator {
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
         let span = self.obs.start(stage::CORRELATE);
-        rrs_par::try_par_row_chunks_mut_observed(
+        rrs_par::try_par_row_chunks_mut_budgeted(
             out_slice,
             nx,
             self.workers,
             &self.obs,
+            &self.budget,
             |iy0, chunk| {
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                     let iy = iy0 + row_off;
@@ -209,16 +251,19 @@ impl ConvolutionGenerator {
                 format!("{kw}x{kh}"),
             ));
         }
+        self.budget.check()?;
+        self.admit("periodic convolution", nx as u128 * ny as u128)?;
         let (ox, oy) = self.kernel.origin();
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
         let span = self.obs.start(stage::CORRELATE);
-        rrs_par::try_par_row_chunks_mut_observed(
+        rrs_par::try_par_row_chunks_mut_budgeted(
             out_slice,
             nx,
             self.workers,
             &self.obs,
+            &self.budget,
             |iy0, chunk| {
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                     let iy = iy0 + row_off;
@@ -414,6 +459,82 @@ mod tests {
             gen.try_generate(&noise, Window::new(4, -2, 8, 8)).unwrap(),
         );
         assert!(gen.try_generate_window(&noise, 0, 0, 0, 8).is_err());
+    }
+
+    #[test]
+    fn budgeted_idle_run_is_bit_identical() {
+        use rrs_error::{Budget, CancelToken};
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let k = ConvolutionKernel::build(&s, KernelSizing::default());
+        let noise = NoiseField::new(41);
+        let win = Window::new(-7, 3, 40, 28);
+        let plain = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(3)
+            .generate(&noise, win);
+        let budget = Budget::unlimited()
+            .with_cancel_token(CancelToken::new())
+            .with_timeout(std::time::Duration::from_secs(3600))
+            .with_max_bytes(usize::MAX);
+        let budgeted = ConvolutionGenerator::from_kernel(k)
+            .with_workers(3)
+            .with_budget(budget)
+            .try_generate(&noise, win)
+            .unwrap();
+        assert_eq!(plain, budgeted, "armed-but-idle budget must not change a single bit");
+    }
+
+    #[test]
+    fn pre_cancelled_request_fails_before_allocating() {
+        use rrs_error::{Budget, CancelToken};
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let token = CancelToken::new();
+        token.cancel();
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default())
+            .with_budget(Budget::unlimited().with_cancel_token(token));
+        // A window this large would abort the process if the generator
+        // tried to materialise it; returning Cancelled proves the
+        // pre-flight check fires first.
+        let win = Window::new(0, 0, 1 << 30, 1 << 30);
+        let err = gen.try_generate(&NoiseField::new(1), win).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::Cancelled);
+    }
+
+    #[test]
+    fn admission_rejects_oversized_requests_before_allocating() {
+        use rrs_error::Budget;
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let rec = Recorder::enabled();
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default())
+            .with_recorder(rec.clone())
+            .with_budget(Budget::unlimited().with_max_bytes(1 << 20));
+        // Would abort the allocator if admission did not fire first.
+        let win = Window::new(0, 0, 1 << 30, 1 << 30);
+        let err = gen.try_generate(&NoiseField::new(1), win).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::BudgetExceeded);
+        assert!(err.to_string().contains("convolution generation"), "{err}");
+        assert_eq!(rec.report().counter(stage::BUDGET_REJECT), 1);
+        // A window that fits the ceiling still generates.
+        let small = Window::sized(8, 8);
+        assert_eq!(gen.try_generate(&NoiseField::new(1), small).unwrap().shape(), (8, 8));
+    }
+
+    #[test]
+    fn budgeted_periodic_convolution_admits_and_matches() {
+        use rrs_error::Budget;
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let spec = GridSpec::unit(16, 16);
+        let kernel = ConvolutionKernel::build_on(&s, spec);
+        let noise = Grid2::from_vec(16, 16, (0..256).map(|i| (i as f64).sin()).collect());
+        let plain = ConvolutionGenerator::from_kernel(kernel.clone())
+            .with_workers(1)
+            .convolve_periodic(&noise);
+        let gen = ConvolutionGenerator::from_kernel(kernel)
+            .with_workers(1)
+            .with_budget(Budget::unlimited().with_max_bytes(16 * 16 * 8));
+        assert_eq!(gen.try_convolve_periodic(&noise).unwrap(), plain);
+        let tight = gen.with_budget(Budget::unlimited().with_max_bytes(16 * 16 * 8 - 1));
+        let err = tight.try_convolve_periodic(&noise).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::BudgetExceeded);
     }
 
     #[test]

@@ -76,6 +76,25 @@ impl StripGenerator {
         self
     }
 
+    /// Attaches a resource [`Budget`](rrs_error::Budget) to the inner
+    /// convolution generator. Every strip request —
+    /// [`StripGenerator::try_strip_at`] as well as the sequential
+    /// [`StripGenerator::try_next_strip`] loop — re-runs the budget's
+    /// pre-flight check and admission control before allocating, and polls
+    /// the deadline/cancel token at band granularity while correlating, so
+    /// a tripped budget stops the stream within one tile. The cursor only
+    /// advances on success, so a cancelled stream resumes exactly where it
+    /// stopped.
+    pub fn with_budget(mut self, budget: rrs_error::Budget) -> Self {
+        self.gen = self.gen.with_budget(budget);
+        self
+    }
+
+    /// The budget attached to the inner generator.
+    pub fn budget(&self) -> &rrs_error::Budget {
+        self.gen.budget()
+    }
+
     /// The recorder attached to the inner generator.
     pub fn recorder(&self) -> &Recorder {
         self.gen.recorder()
@@ -100,7 +119,10 @@ impl StripGenerator {
         self.noise.seed()
     }
 
-    /// Fallible [`StripGenerator::strip_at`].
+    /// Fallible [`StripGenerator::strip_at`]. Routed through the attached
+    /// budget: an oversized strip fails with
+    /// [`RrsError::BudgetExceeded`] before anything is allocated instead
+    /// of aborting inside the allocator.
     pub fn try_strip_at(&self, x0: i64, width: usize) -> Result<Grid2<f64>, RrsError> {
         let win = Window::try_new(x0, 0, width, self.ny)?;
         let out = self.gen.try_generate(&self.noise, win)?;
@@ -195,6 +217,35 @@ mod tests {
     fn zero_height_rejected() {
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
         StripGenerator::new(&s, KernelSizing::default(), 0, 1);
+    }
+
+    #[test]
+    fn oversized_strip_is_rejected_not_aborted() {
+        use rrs_error::Budget;
+        let sg = make(9).with_budget(Budget::unlimited().with_max_bytes(1 << 20));
+        // Wide enough that the alloc would abort; admission must fire first.
+        let err = sg.try_strip_at(0, 1 << 30).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::BudgetExceeded);
+        // A strip within the ceiling still works and matches an unbudgeted run.
+        assert_eq!(sg.try_strip_at(40, 8).unwrap(), make(9).strip_at(40, 8));
+    }
+
+    #[test]
+    fn cancelled_stream_leaves_cursor_unadvanced() {
+        use rrs_error::{Budget, CancelToken};
+        let token = CancelToken::new();
+        let mut sg = make(11).with_budget(Budget::unlimited().with_cancel_token(token.clone()));
+        sg.next_strip(8);
+        assert_eq!(sg.cursor(), 8);
+        token.cancel();
+        let err = sg.try_next_strip(8).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::Cancelled);
+        assert_eq!(sg.cursor(), 8, "failed strip must not advance the cursor");
+        // The resumable state still continues the identical surface.
+        let resumed = make(11).strip_at(8, 8);
+        let mut fresh = make(11).with_budget(Budget::unlimited().with_cancel_token(CancelToken::new()));
+        fresh.seek(8);
+        assert_eq!(fresh.try_next_strip(8).unwrap(), resumed);
     }
 
     #[test]

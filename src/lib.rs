@@ -49,6 +49,23 @@
 //! checkpoint write/fsync) are timed into named histograms and counters,
 //! exportable as JSON. The default disabled recorder costs nothing and
 //! enabling one never changes a single output bit.
+//!
+//! ## Runtime budgets
+//!
+//! Every generator also accepts a resource [`error::Budget`] via
+//! `with_budget`: a wall-clock deadline and/or a shared
+//! [`error::CancelToken`] are polled cooperatively at band granularity
+//! (a tripped request returns [`error::RrsError::Cancelled`] /
+//! [`error::RrsError::DeadlineExceeded`] within one band or strip tile,
+//! never partial output), and a byte ceiling is enforced by admission
+//! control *before* allocation, so an oversized request fails with a
+//! precise [`error::RrsError::BudgetExceeded`] instead of aborting the
+//! process. Durable writes (checkpoints, snapshots, images, CSV) are
+//! crash-atomic (tmp + fsync + rename) and can be wrapped in a
+//! deterministic [`io::RetryPolicy`] that retries transient I/O faults
+//! with exponential backoff. With the default [`error::Budget::unlimited`]
+//! every code path is bit-identical to — and as fast as — the unbudgeted
+//! generator.
 
 pub use rrs_error as error;
 pub use rrs_fft as fft;
@@ -66,10 +83,11 @@ pub use rrs_surface as surface;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use rrs_error::{ErrorKind, RrsError};
+    pub use rrs_error::{Budget, CancelToken, ErrorKind, RrsError};
     pub use rrs_grid::{Grid2, Window};
     pub use rrs_io::{
-        try_write_snapshot, write_checkpoint_file, write_snapshot, StreamCheckpoint,
+        try_write_snapshot, write_checkpoint_file, write_checkpoint_file_retrying,
+        write_snapshot, RetryPolicy, StreamCheckpoint,
     };
     pub use rrs_obs::Recorder;
     pub use rrs_inhomo::{
