@@ -59,6 +59,12 @@ echo "== runtime budget overhead gate: the no-budget path must stay free =="
 # see bench_runtime; armed-budget overhead is reported for information.
 cargo run --release --locked --offline -p rrs-bench --bin bench_runtime
 
+echo "== convolution backend gate: FFT must beat direct where Auto says so =="
+# Exits 1 if the overlap-save FFT engine is not >= 3x the direct loop on
+# the cl32/128x128 shape, or if ConvBackend::Auto resolves to a backend
+# measurably slower than the alternative — see bench_convolution.
+cargo run --release --locked --offline -p rrs-bench --bin bench_convolution
+
 echo "== bench smoke: reduced-scale reproduction run =="
 smoke_out="$(mktemp -d)"
 trap 'rm -rf "$smoke_out"' EXIT

@@ -1,0 +1,148 @@
+//! Convolution backend benchmarks and dispatch gate.
+//!
+//! Measures [`ConvBackend::Direct`] against [`ConvBackend::FftOverlapSave`]
+//! on the `kernel_scaling` shapes (Gaussian, `KernelSizing::default()`,
+//! 128×128 output) and **fails** (exit code 1) if either
+//!
+//! * the FFT engine is not at least 3× faster than the direct loop on the
+//!   `cl32` shape — the configuration whose direct cost motivated the
+//!   backend (~0.8 s per window at seed); or
+//! * [`ConvBackend::Auto`] resolves to a backend measurably slower than
+//!   the other engine on any measured shape — i.e. the
+//!   `AUTO_CROSSOVER_KERNEL_AREA` model has drifted from reality.
+//!
+//! A `crossover/k13` pair rides along informationally: a cropped 13×13
+//! kernel sits right at the modelled crossover area, so its Direct/FFT
+//! ratio shows which side of the boundary this machine actually favours.
+//!
+//! Run with `cargo run --release -p rrs-bench --bin bench_convolution`;
+//! writes `BENCH_convolution.json` with a `dispatch` section recording
+//! the resolved backend and measured ratio per shape.
+
+use rrs_bench::Harness;
+use rrs_grid::Window;
+use rrs_spectrum::{Gaussian, SurfaceParams};
+use rrs_surface::{
+    ConvBackend, ConvolutionGenerator, ConvolutionKernel, KernelSizing, NoiseField,
+};
+use std::hint::black_box;
+
+const OUT: usize = 128;
+
+struct Shape {
+    label: String,
+    kernel: ConvolutionKernel,
+    gated: bool,
+}
+
+fn main() {
+    let mut h = Harness::new("convolution").with_reps(5);
+    let noise = NoiseField::new(1);
+    let win = Window::sized(OUT, OUT);
+
+    let mut shapes: Vec<Shape> = [8.0, 16.0, 32.0]
+        .iter()
+        .map(|&cl| {
+            let s = Gaussian::new(SurfaceParams::isotropic(1.0, cl));
+            Shape {
+                label: format!("cl{}", cl as u64),
+                kernel: ConvolutionKernel::build(&s, KernelSizing::default()),
+                gated: cl == 32.0,
+            }
+        })
+        .collect();
+    // Crossover probes: cropped kernels bracketing the modelled
+    // AUTO_CROSSOVER_KERNEL_AREA, where the two engines trade places —
+    // informational (the exact boundary is machine- and noise-sensitive),
+    // never gated.
+    let s = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
+    let base = ConvolutionKernel::build(&s, KernelSizing::default());
+    for r in [6i64, 9, 12, 15] {
+        let kernel = base.crop(r, r);
+        shapes.push(Shape {
+            label: format!("k{}", 2 * r + 1),
+            kernel,
+            gated: false,
+        });
+    }
+
+    let mut dispatch_entries: Vec<String> = Vec::new();
+    let mut failed = false;
+
+    for shape in &shapes {
+        let group = if shape.label.starts_with('k') { "crossover" } else { "backend" };
+        let mut mins = [0.0f64; 2];
+        for (i, backend) in [ConvBackend::Direct, ConvBackend::FftOverlapSave]
+            .into_iter()
+            .enumerate()
+        {
+            let gen = ConvolutionGenerator::from_kernel(shape.kernel.clone())
+                .with_workers(1)
+                .with_backend(backend);
+            let tag = match backend {
+                ConvBackend::FftOverlapSave => "fft",
+                _ => "direct",
+            };
+            h.bench_elems(
+                &format!("{group}/{}/{tag}", shape.label),
+                (OUT * OUT) as u64,
+                || black_box(gen.generate(&noise, win)),
+            );
+            mins[i] = h.last_record().expect("just recorded").min_ns;
+        }
+        let [direct_min, fft_min] = mins;
+
+        let auto = ConvolutionGenerator::from_kernel(shape.kernel.clone())
+            .with_workers(1)
+            .with_backend(ConvBackend::Auto);
+        let resolved = auto.resolved_backend();
+        h.bench_elems(&format!("{group}/{}/auto", shape.label), (OUT * OUT) as u64, || {
+            black_box(auto.generate(&noise, win))
+        });
+
+        let ratio = direct_min / fft_min;
+        let (kw, kh) = shape.kernel.extent();
+        println!(
+            "{}/{}: kernel {kw}x{kh}, direct/fft (min-of-reps) = {ratio:.2}x, Auto -> {resolved:?}",
+            group, shape.label
+        );
+        dispatch_entries.push(format!(
+            "{{\"shape\": \"{}\", \"kernel\": [{kw}, {kh}], \"direct_min_ns\": {direct_min:.1}, \
+             \"fft_min_ns\": {fft_min:.1}, \"direct_over_fft\": {ratio:.3}, \
+             \"auto_resolved\": \"{resolved:?}\"}}",
+            shape.label
+        ));
+
+        if shape.gated && ratio < 3.0 {
+            eprintln!(
+                "FAIL: FFT backend is only {ratio:.2}x the direct loop on {} \
+                 (gate: >= 3x)",
+                shape.label
+            );
+            failed = true;
+        }
+        // Auto must land on the measured winner; 10% slack absorbs timing
+        // noise on shapes where the engines are close.
+        let (resolved_min, other_min) = match resolved {
+            ConvBackend::FftOverlapSave => (fft_min, direct_min),
+            _ => (direct_min, fft_min),
+        };
+        if group == "backend" && resolved_min > other_min * 1.1 {
+            eprintln!(
+                "FAIL: Auto resolved to {resolved:?} on {} but the other backend is \
+                 {:.2}x faster — AUTO_CROSSOVER_KERNEL_AREA no longer matches this machine",
+                shape.label,
+                resolved_min / other_min
+            );
+            failed = true;
+        }
+    }
+
+    h.attach_section("dispatch", format!("[{}]", dispatch_entries.join(", ")));
+    h.finish().expect("write BENCH_convolution.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("convolution backend gates passed");
+}

@@ -133,6 +133,13 @@ impl Harness {
         self.records.push(record);
     }
 
+    /// The most recently recorded benchmark, if any — lets a suite derive
+    /// summary sections (speedups, dispatch checks) from its own records
+    /// before [`finish`](Harness::finish) consumes them.
+    pub fn last_record(&self) -> Option<&BenchRecord> {
+        self.records.last()
+    }
+
     /// Attaches an extra top-level JSON section to the suite report —
     /// `value` must already be rendered JSON (object, array or scalar).
     /// Used by the `--obs` bench modes to embed the stage-breakdown

@@ -59,6 +59,21 @@ impl Fft2d {
         }
     }
 
+    /// Forward-transforms a real row-major `nx × ny` field into `buf`,
+    /// reusing `buf`'s allocation (cleared and refilled, grown at most
+    /// once). Equivalent to widening to complex and calling
+    /// [`Fft2d::process`] with [`Direction::Forward`], without the
+    /// caller-side intermediate vector.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != nx * ny`.
+    pub fn forward_real_into(&self, input: &[f64], buf: &mut Vec<Complex64>) {
+        assert_eq!(input.len(), self.nx * self.ny, "buffer shape mismatch");
+        buf.clear();
+        buf.extend(input.iter().map(|&x| Complex64::from_re(x)));
+        self.process(buf, Direction::Forward);
+    }
+
     fn rows_pass(&self, buf: &mut [Complex64], dir: Direction) {
         let nx = self.nx;
         let fft = &self.row_fft;

@@ -36,7 +36,7 @@ pub mod spectral;
 
 use rrs_num::Complex64;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;
@@ -123,6 +123,57 @@ impl Planner {
     pub fn plan(&self, len: usize) -> Arc<Fft> {
         let mut cache = self.cache.lock().expect("planner lock poisoned");
         cache.entry(len).or_insert_with(|| Arc::new(Fft::new(len))).clone()
+    }
+}
+
+/// A shared, thread-safe cache of prepared 2-D transforms keyed on
+/// `(nx, ny, workers)`.
+///
+/// [`Fft2d::new`] recomputes twiddles and bit-reversal tables on every
+/// construction; hot paths that transform the same shape repeatedly
+/// (overlap-save convolution tiles, autocorrelation / periodogram
+/// estimators, spectrum verification) fetch their plan here instead.
+/// Plans are immutable once built, so sharing one [`Arc<Fft2d>`] across
+/// threads is free.
+#[derive(Default)]
+pub struct FftPlanCache {
+    cache: Mutex<HashMap<(usize, usize, usize), Arc<Fft2d>>>,
+}
+
+impl FftPlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches (or builds and caches) the `nx × ny` transform with the
+    /// given worker count.
+    pub fn plan(&self, nx: usize, ny: usize, workers: usize) -> Arc<Fft2d> {
+        let workers = workers.max(1);
+        let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+        cache
+            .entry((nx, ny, workers))
+            .or_insert_with(|| Arc::new(Fft2d::with_workers(nx, ny, workers)))
+            .clone()
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("plan cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no plans yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The process-wide shared cache. Estimator entry points
+    /// (`rrs-stats`, `rrs-spectrum`) use this so repeated calls on the
+    /// same grid shape reuse one plan without threading a cache handle
+    /// through their signatures.
+    pub fn global() -> &'static FftPlanCache {
+        static GLOBAL: OnceLock<FftPlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(FftPlanCache::new)
     }
 }
 
@@ -281,6 +332,48 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = planner.plan(65);
         assert_eq!(c.len(), 65);
+    }
+
+    #[test]
+    fn plan_cache_shares_per_shape_and_workers() {
+        let cache = FftPlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.plan(16, 8, 1);
+        let b = cache.plan(16, 8, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one plan");
+        let c = cache.plan(16, 8, 2);
+        assert!(!Arc::ptr_eq(&a, &c), "worker count is part of the key");
+        assert_eq!(cache.len(), 2);
+        // Worker count 0 is clamped to 1, landing on the serial plan.
+        let d = cache.plan(16, 8, 0);
+        assert!(Arc::ptr_eq(&a, &d));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_plan_transforms_identically_to_fresh() {
+        let (nx, ny) = (12, 10);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let x: Vec<Complex64> =
+            (0..nx * ny).map(|_| Complex64::new(rng.next_f64(), rng.next_f64())).collect();
+        let mut fresh = x.clone();
+        Fft2d::with_workers(nx, ny, 1).process(&mut fresh, Direction::Forward);
+        let mut cached = x;
+        FftPlanCache::global().plan(nx, ny, 1).process(&mut cached, Direction::Forward);
+        assert_eq!(fresh, cached, "cached plan must be bit-identical to a fresh one");
+    }
+
+    #[test]
+    fn forward_real_into_matches_widening() {
+        let (nx, ny) = (8, 6);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let x: Vec<f64> = (0..nx * ny).map(|_| rng.next_f64() - 0.5).collect();
+        let fft = Fft2d::with_workers(nx, ny, 1);
+        let mut wide: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        fft.process(&mut wide, Direction::Forward);
+        let mut buf = vec![Complex64::ONE; 3]; // stale contents must be discarded
+        fft.forward_real_into(&x, &mut buf);
+        assert_eq!(wide, buf);
     }
 
     #[test]

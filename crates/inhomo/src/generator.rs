@@ -13,10 +13,13 @@
 //! homogeneous-kernel dot product.
 
 use rrs_error::{Budget, RrsError};
+use rrs_fft::FftPlanCache;
 use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::SpectrumModel;
-use rrs_surface::{ConvolutionKernel, KernelSizing, NoiseField};
+use rrs_surface::internal::{plan_tiles, FftEngine};
+use rrs_surface::{ConvBackend, ConvolutionKernel, KernelSizing, NoiseField};
+use std::sync::Arc;
 
 /// Assigns per-sample kernel weights; implemented by
 /// [`crate::PlateLayout`] and [`crate::PointLayout`].
@@ -51,6 +54,8 @@ pub struct InhomogeneousGenerator<M> {
     workers: usize,
     obs: Recorder,
     budget: Budget,
+    backend: ConvBackend,
+    fft: FftEngine,
     // Precomputed reaches for noise-window sizing.
     reach_left: i64,
     reach_right: i64,
@@ -134,6 +139,8 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             workers: rrs_par::default_workers(),
             obs: Recorder::disabled(),
             budget: Budget::unlimited(),
+            backend: ConvBackend::default(),
+            fft: FftEngine::new(Arc::new(FftPlanCache::new())),
             reach_left,
             reach_right,
             reach_down,
@@ -176,6 +183,42 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         &self.budget
     }
 
+    /// Selects the convolution backend for **pure** windows — requests
+    /// whose every sample carries exactly one kernel at weight 1 (the
+    /// bulk of a plate's interior, away from transition bands). Such
+    /// windows reduce to a homogeneous convolution, so they dispatch to
+    /// the same engine as
+    /// [`ConvolutionGenerator`](rrs_surface::ConvolutionGenerator):
+    /// [`ConvBackend::FftOverlapSave`] or an [`ConvBackend::Auto`]
+    /// resolution of it runs overlap-save FFT tiles; windows that blend
+    /// kernels anywhere — or mix two pure regions — always fall back to
+    /// the per-sample direct loop, which is the only evaluator of the
+    /// blended sum. The default [`ConvBackend::Direct`] skips the
+    /// pure-window scan entirely and is bit-identical to previous
+    /// releases.
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured backend policy ([`ConvBackend::Direct`] by default).
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// Shares an [`FftPlanCache`] with other generators so pure-window
+    /// FFT dispatches reuse their twiddle tables (resets this generator's
+    /// cached kernel spectra).
+    pub fn with_plan_cache(mut self, plans: Arc<FftPlanCache>) -> Self {
+        self.fft = FftEngine::new(plans);
+        self
+    }
+
+    /// The plan cache backing the FFT path.
+    pub fn plan_cache(&self) -> &Arc<FftPlanCache> {
+        self.fft.plans()
+    }
+
     /// The kernels, in map order.
     pub fn kernels(&self) -> &[ConvolutionKernel] {
         &self.kernels
@@ -194,6 +237,23 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// noise window or output field is materialised.
     pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
         self.budget.check()?;
+        if self.backend != ConvBackend::Direct {
+            // The pure-window scan is O(nx·ny) map lookups; admit the
+            // output footprint first so an oversized request still fails
+            // the byte ceiling before any of that work runs.
+            self.budget
+                .admit("inhomogeneous generation", win.nx as u128 * win.ny as u128 * 8)
+                .inspect_err(|_| {
+                    self.obs.add_counter(stage::BUDGET_REJECT, 1);
+                })?;
+            if let Some(ki) = self.pure_kernel(win) {
+                let (kw, kh) = self.kernels[ki].extent();
+                if self.backend.resolve(kw, kh) == ConvBackend::FftOverlapSave {
+                    return self.generate_pure_fft(ki, noise, win);
+                }
+            }
+        }
+        self.obs.add_counter(stage::CONV_BACKEND_DIRECT, 1);
         let Window { x0, y0, nx, ny } = win;
         let wx0 = x0 - self.reach_left;
         let wy0 = y0 - self.reach_down;
@@ -292,6 +352,74 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         ny: usize,
     ) -> Result<Grid2<f64>, RrsError> {
         self.try_generate(noise, Window::try_new(x0, y0, nx, ny)?)
+    }
+
+    /// Scans the window for a single pure kernel: `Some(ki)` iff every
+    /// sample's weight vector is exactly `[(ki, 1.0)]`. Early-exits on
+    /// the first blended, fractional or differing sample, so windows
+    /// touching a transition band pay for only a prefix of the scan.
+    fn pure_kernel(&self, win: Window) -> Option<usize> {
+        let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
+        let mut pure = None;
+        for iy in 0..win.ny {
+            let gy = (win.y0 + iy as i64) as f64;
+            for ix in 0..win.nx {
+                let gx = (win.x0 + ix as i64) as f64;
+                self.map.weights_at(gx, gy, &mut weights);
+                match (pure, weights.as_slice()) {
+                    (None, &[(ki, g)]) if g == 1.0 => pure = Some(ki),
+                    (Some(p), &[(ki, g)]) if g == 1.0 && p == ki => {}
+                    _ => return None,
+                }
+            }
+        }
+        pure
+    }
+
+    /// The homogeneous fast path: the whole window is kernel `ki` at
+    /// weight 1, so `f(n) = (w̃_ki ⊛ X)(n)` exactly — generated like the
+    /// homogeneous convolution generator from a kernel-specific noise
+    /// window through the shared overlap-save FFT engine, with the budget
+    /// polled per tile.
+    fn generate_pure_fft(
+        &self,
+        ki: usize,
+        noise: &NoiseField,
+        win: Window,
+    ) -> Result<Grid2<f64>, RrsError> {
+        let kernel = &self.kernels[ki];
+        let (kw, kh) = kernel.extent();
+        let (ox, oy) = kernel.origin();
+        let Window { x0, y0, nx, ny } = win;
+        let ww = nx + kw - 1;
+        let wh = ny + kh - 1;
+        let scratch = plan_tiles(nx, ny, kw, kh).scratch_samples();
+        let required = (ww as u128 * wh as u128 + nx as u128 * ny as u128 + scratch) * 8;
+        self.budget.admit("inhomogeneous generation", required).inspect_err(|_| {
+            self.obs.add_counter(stage::BUDGET_REJECT, 1);
+        })?;
+        let span = self.obs.start(stage::WINDOW_MATERIALISE);
+        let noise_win =
+            noise.window(x0 - (ox + kw as i64 - 1), y0 - (oy + kh as i64 - 1), ww, wh);
+        self.obs.finish(span);
+        self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+        let out = self.fft.convolve(
+            ki,
+            kernel,
+            &noise_win,
+            ww,
+            wh,
+            nx,
+            ny,
+            self.workers,
+            &self.obs,
+            &self.budget,
+        )?;
+        let mut shard = self.obs.shard();
+        shard.add(stage::INHOMO_PURE_SAMPLES, (nx * ny) as u64);
+        shard.add(stage::INHOMO_KERNEL_EVALS, (nx * ny) as u64);
+        self.obs.absorb(shard);
+        Ok(out)
     }
 
     /// Evaluates `(w̃_ki ⊛ X)(n)` for the sample at window-local
@@ -538,6 +666,65 @@ mod tests {
         let err = gen.try_generate(&NoiseField::new(5), huge).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::BudgetExceeded);
         assert!(err.to_string().contains("inhomogeneous generation"), "{err}");
+    }
+
+    #[test]
+    fn fft_backend_serves_pure_windows_and_falls_back_on_blends() {
+        // Pond in a field: windows deep inside either region are pure and
+        // may dispatch to the overlap-save engine; windows touching the
+        // transition band must fall back to the per-sample direct loop.
+        let pond = Plate {
+            region: Region::Circle { cx: 64.0, cy: 64.0, r: 32.0 },
+            spectrum: SpectrumModel::exponential(SurfaceParams::isotropic(0.2, 6.0)),
+        };
+        let make = || {
+            let layout = PlateLayout::new(vec![pond.clone()], Some(sm(1.0, 6.0)), 10.0);
+            InhomogeneousGenerator::new(layout, sizing()).with_workers(2)
+        };
+        let direct = make();
+        let rec = Recorder::enabled();
+        let fft = make()
+            .with_backend(rrs_surface::ConvBackend::FftOverlapSave)
+            .with_recorder(rec.clone());
+        assert_eq!(fft.backend(), rrs_surface::ConvBackend::FftOverlapSave);
+        let noise = NoiseField::new(29);
+
+        // Field corner: pure background kernel → FFT path, within 1e-9.
+        let win = Window::new(-40, -40, 32, 32);
+        let a = direct.generate(&noise, win);
+        let b = fft.generate(&noise, win);
+        let scale = a.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max);
+        let err = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(err <= 1e-9 * scale, "pure window: max err {err}");
+        assert_eq!(rec.report().counter(stage::CONV_BACKEND_FFT), 1);
+        assert_eq!(rec.report().counter(stage::INHOMO_PURE_SAMPLES), 32 * 32);
+
+        // Pond centre: also pure, distinct kernel id in the engine cache.
+        let win = Window::new(56, 56, 16, 16);
+        let c = direct.generate(&noise, win);
+        let d = fft.generate(&noise, win);
+        let scale = c.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (x, y) in c.as_slice().iter().zip(d.as_slice()) {
+            assert!((x - y).abs() <= 1e-9 * scale, "pond window");
+        }
+        assert_eq!(rec.report().counter(stage::CONV_BACKEND_FFT), 2);
+
+        // A window across the shoreline blends → bit-identical fallback.
+        let win = Window::new(20, 20, 48, 48);
+        assert_eq!(direct.generate(&noise, win), fft.generate(&noise, win));
+        assert_eq!(rec.report().counter(stage::CONV_BACKEND_DIRECT), 1);
+        assert_eq!(rec.report().counter(stage::CONV_BACKEND_FFT), 2);
+
+        // Auto resolves by kernel area: these kernels are far past the
+        // crossover, so pure windows dispatch to the FFT engine too.
+        let auto = make().with_backend(rrs_surface::ConvBackend::Auto);
+        let e = auto.generate(&noise, Window::new(-40, -40, 32, 32));
+        assert_eq!(e, b, "Auto must match the resolved FFT engine exactly");
     }
 
     #[test]

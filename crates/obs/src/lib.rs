@@ -62,6 +62,14 @@ pub mod stage {
     pub const INHOMO_KERNEL_EVALS: &str = "inhomo/kernel_evals";
     /// Counter: strips produced by a streaming generator.
     pub const STRIP_TILES: &str = "strip/tiles";
+    /// Counter: correlation requests dispatched to the FFT overlap-save
+    /// backend (one per window, not per tile).
+    pub const CONV_BACKEND_FFT: &str = "conv/backend_fft";
+    /// Counter: correlation requests dispatched to the direct spatial
+    /// backend.
+    pub const CONV_BACKEND_DIRECT: &str = "conv/backend_direct";
+    /// Counter: overlap-save tiles processed by the FFT backend.
+    pub const CONV_FFT_TILES: &str = "conv/fft_tiles";
     /// Checkpoint serialisation + write.
     pub const CHECKPOINT_WRITE: &str = "checkpoint/write";
     /// Checkpoint durability barrier (fsync).

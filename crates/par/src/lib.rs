@@ -127,8 +127,21 @@ where
     });
 }
 
-/// Splits a row-major `row_len`-wide buffer into bands of whole rows and
-/// processes each band on its own thread: `f(first_row_index, band)`.
+/// The static row partition shared by every row-band primitive (parallel
+/// dispatch, budget slicing, serial retry): `min(workers, rows)` bands of
+/// *near-equal* height — sizes differ by at most one row. The previous
+/// ceiling-division banding could strand workers entirely (9 rows on 8
+/// workers made five 2-row bands and left three workers idle); the
+/// balanced split keeps every worker busy and bounds the straggler band
+/// at one extra row. Band boundaries depend only on `(rows, workers)`,
+/// preserving the static-partition determinism contract.
+fn row_bands(rows: usize, workers: usize) -> Vec<(usize, usize)> {
+    split_range(rows, workers.max(1).min(rows))
+}
+
+/// Splits a row-major `row_len`-wide buffer into balanced bands of whole
+/// rows and processes each band on its own thread:
+/// `f(first_row_index, band)`.
 ///
 /// Guarantees a row is never split across workers — the invariant the 2-D
 /// kernels rely on.
@@ -146,16 +159,18 @@ where
     if rows == 0 {
         return;
     }
-    let workers = workers.max(1).min(rows);
-    let rows_per_band = rows.div_ceil(workers);
-    if workers == 1 {
+    let bands = row_bands(rows, workers);
+    if bands.len() == 1 {
         f(0, data);
         return;
     }
     scope(|s| {
-        for (i, band) in data.chunks_mut(rows_per_band * row_len).enumerate() {
+        let mut rest = data;
+        for &(r0, r1) in &bands {
+            let (band, tail) = std::mem::take(&mut rest).split_at_mut((r1 - r0) * row_len);
+            rest = tail;
             let f = &f;
-            s.spawn(move || f(i * rows_per_band, band));
+            s.spawn(move || f(r0, band));
         }
     });
 }
@@ -259,9 +274,8 @@ where
     if rows == 0 {
         return Ok(());
     }
-    let workers = workers.max(1).min(rows);
-    let rows_per_band = rows.div_ceil(workers);
-    if workers == 1 {
+    let band_ranges = row_bands(rows, workers);
+    if band_ranges.len() == 1 {
         obs.add_counter(stage::PAR_BANDS, 1);
         return run_caught(0, data, &f).map_err(rename_band_to_row(0)).inspect_err(|_| {
             obs.add_counter(stage::PAR_WORKER_PANICS, 1);
@@ -271,14 +285,15 @@ where
     let mut bands = 0u64;
     let mut panics = 0u64;
     scope(|s| {
-        let handles: Vec<_> = data
-            .chunks_mut(rows_per_band * row_len)
+        let mut rest = data;
+        let handles: Vec<_> = band_ranges
+            .iter()
             .enumerate()
-            .map(|(i, band)| {
+            .map(|(i, &(r0, r1))| {
+                let (band, tail) = std::mem::take(&mut rest).split_at_mut((r1 - r0) * row_len);
+                rest = tail;
                 let f = &f;
-                s.spawn(move || {
-                    run_caught(i * rows_per_band, band, f).map_err(rename_band_to_row(i))
-                })
+                s.spawn(move || run_caught(r0, band, f).map_err(rename_band_to_row(i)))
             })
             .collect();
         for h in handles {
@@ -358,9 +373,11 @@ where
     if rows == 0 {
         return Ok(());
     }
-    let workers = workers.max(1).min(rows);
-    let rows_per_band = rows.div_ceil(workers);
-    let poll_rows = rows_per_band.div_ceil(BUDGET_POLL_SLICES).max(1);
+    let band_ranges = row_bands(rows, workers);
+    // Poll cadence derived from the tallest band, so every band polls at
+    // most BUDGET_POLL_SLICES times regardless of the balanced split.
+    let max_band_rows = band_ranges.iter().map(|&(a, b)| b - a).max().unwrap_or(rows);
+    let poll_rows = max_band_rows.div_ceil(BUDGET_POLL_SLICES).max(1);
 
     // Runs one worker band slice by slice, polling the budget before each
     // slice. Returns the polls taken alongside the outcome so the caller
@@ -383,7 +400,7 @@ where
         (polls, Ok(()))
     };
 
-    if workers == 1 {
+    if band_ranges.len() == 1 {
         obs.add_counter(stage::PAR_BANDS, 1);
         let (polls, result) = run_band(0, 0, data);
         obs.add_counter(stage::BUDGET_POLLS, polls);
@@ -398,12 +415,15 @@ where
     let mut panics = 0u64;
     let mut polls = 0u64;
     scope(|s| {
-        let handles: Vec<_> = data
-            .chunks_mut(rows_per_band * row_len)
+        let mut rest = data;
+        let handles: Vec<_> = band_ranges
+            .iter()
             .enumerate()
-            .map(|(i, band)| {
+            .map(|(i, &(r0, r1))| {
+                let (band, tail) = std::mem::take(&mut rest).split_at_mut((r1 - r0) * row_len);
+                rest = tail;
                 let run_band = &run_band;
-                s.spawn(move || run_band(i, i * rows_per_band, band))
+                s.spawn(move || run_band(i, r0, band))
             })
             .collect();
         for h in handles {
@@ -484,10 +504,9 @@ where
             obs.add_counter(stage::PAR_SERIAL_FALLBACKS, 1);
             // Serial retry over the identical static partition.
             let rows = data.len() / row_len;
-            let workers = workers.max(1).min(rows);
-            let rows_per_band = rows.div_ceil(workers);
-            for (i, band) in data.chunks_mut(rows_per_band * row_len).enumerate() {
-                run_caught(i * rows_per_band, band, &f).map_err(|e| {
+            for (i, &(r0, r1)) in row_bands(rows, workers).iter().enumerate() {
+                let band = &mut data[r0 * row_len..r1 * row_len];
+                run_caught(r0, band, &f).map_err(|e| {
                     rename_band_to_row(i)(e)
                         .with_context(format!("serial retry after parallel band {failed} panicked"))
                 })?;
@@ -778,6 +797,45 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("serial retry"), "{msg}");
         assert!(msg.contains("permanent fault"), "{msg}");
+    }
+
+    #[test]
+    fn row_bands_are_balanced_and_use_all_workers() {
+        // 9 rows on 8 workers used to produce five ceil-height bands and
+        // leave three workers idle; the balanced split hands every worker
+        // a band and bounds the height spread at one row.
+        let nx = 3;
+        let rec = Recorder::enabled();
+        let heights = std::sync::Mutex::new(Vec::new());
+        let mut v = vec![0u8; nx * 9];
+        try_par_row_chunks_mut_observed(&mut v, nx, 8, &rec, |_, band| {
+            heights.lock().unwrap().push(band.len() / nx);
+        })
+        .unwrap();
+        assert_eq!(rec.report().counter(stage::PAR_BANDS), 8);
+        let heights = heights.into_inner().unwrap();
+        let (min, max) = (heights.iter().min().unwrap(), heights.iter().max().unwrap());
+        assert!(max - min <= 1, "band heights {heights:?}");
+        assert_eq!(heights.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn balanced_partition_output_matches_serial() {
+        // Rebalancing moves band boundaries; row-decomposable closures
+        // must still produce byte-identical output at every worker count.
+        let nx = 5;
+        let fill = |r0: usize, band: &mut [u64]| {
+            for (j, x) in band.iter_mut().enumerate() {
+                *x = ((r0 * nx + j) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            }
+        };
+        let mut want = vec![0u64; nx * 31];
+        par_row_chunks_mut(&mut want, nx, 1, fill);
+        for workers in [2usize, 3, 7, 8, 31, 64] {
+            let mut got = vec![0u64; nx * 31];
+            par_row_chunks_mut(&mut got, nx, workers, fill);
+            assert_eq!(got, want, "workers={workers}");
+        }
     }
 
     #[test]

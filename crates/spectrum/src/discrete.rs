@@ -16,7 +16,7 @@
 use crate::model::Spectrum;
 use rrs_error::RrsError;
 use rrs_fft::spectral::angular_frequency;
-use rrs_fft::{Direction, Fft2d};
+use rrs_fft::{Direction, FftPlanCache};
 use rrs_grid::Grid2;
 use rrs_num::Complex64;
 
@@ -150,7 +150,9 @@ pub fn verify_weight_dft<S: Spectrum + ?Sized>(spectrum: &S, spec: GridSpec) -> 
     let w = weight_array(spectrum, spec);
     let mut buf: Vec<Complex64> =
         w.as_slice().iter().map(|&x| Complex64::from_re(x)).collect();
-    Fft2d::with_workers(spec.nx, spec.ny, 1).process(&mut buf, Direction::Forward);
+    // Verification sweeps re-check the same lattice for many spectra;
+    // the process-wide plan cache amortises the transform setup.
+    FftPlanCache::global().plan(spec.nx, spec.ny, 1).process(&mut buf, Direction::Forward);
     let h2 = spectrum.params().variance().max(f64::MIN_POSITIVE);
     // Signed lags: bin n carries the displacement n (n ≤ N/2) or n − N.
     let signed_lag = |m: usize, n: usize| -> f64 {

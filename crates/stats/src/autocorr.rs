@@ -12,7 +12,7 @@
 //! Both subtract the sample mean first and return *covariances* (`ρ̂(0)` is
 //! the height variance `ĥ²`, matching the paper's `ρ(0) = h²` convention).
 
-use rrs_fft::{Direction, Fft2d};
+use rrs_fft::{Direction, FftPlanCache};
 use rrs_grid::Grid2;
 use rrs_num::Complex64;
 
@@ -76,7 +76,10 @@ pub fn autocorrelation_fft(f: &Grid2<f64>) -> Grid2<f64> {
     let mean = f.mean();
     let mut buf: Vec<Complex64> =
         f.as_slice().iter().map(|&v| Complex64::from_re(v - mean)).collect();
-    let fft = Fft2d::new(nx, ny);
+    // Drawn from the process-wide plan cache: ensemble loops call this
+    // once per realisation on the same lattice, and recomputing twiddles
+    // each time dominated the estimator's cost.
+    let fft = FftPlanCache::global().plan(nx, ny, 1);
     fft.process(&mut buf, Direction::Forward);
     for z in &mut buf {
         *z = Complex64::from_re(z.norm_sqr());

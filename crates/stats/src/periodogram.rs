@@ -15,7 +15,7 @@
 //! averages realisations, and [`radial_profile`] bins by `|K|` for
 //! isotropic comparisons.
 
-use rrs_fft::{Direction, Fft2d};
+use rrs_fft::{Direction, FftPlanCache};
 use rrs_grid::Grid2;
 use rrs_num::Complex64;
 use rrs_spectrum::GridSpec;
@@ -29,7 +29,10 @@ pub fn periodogram(f: &Grid2<f64>, spec: GridSpec) -> Grid2<f64> {
     let mean = f.mean();
     let mut buf: Vec<Complex64> =
         f.as_slice().iter().map(|&v| Complex64::from_re(v - mean)).collect();
-    Fft2d::new(nx, ny).process(&mut buf, Direction::Forward);
+    // Ensemble averaging transforms the same lattice once per seed; the
+    // process-wide plan cache keeps the twiddle/bit-reversal tables alive
+    // across realisations.
+    FftPlanCache::global().plan(nx, ny, 1).process(&mut buf, Direction::Forward);
     let norm = (spec.dx * spec.dy).powi(2)
         / (4.0 * core::f64::consts::PI * core::f64::consts::PI * spec.lx() * spec.ly());
     Grid2::from_vec(nx, ny, buf.into_iter().map(|z| z.norm_sqr() * norm).collect())

@@ -19,12 +19,68 @@
 //! disabled recorder records nothing and costs nothing, and enabling it
 //! never changes a single output bit.
 
+use crate::fftconv::{self, FftEngine};
 use crate::kernel::{ConvolutionKernel, KernelSizing};
 use crate::noise::NoiseField;
 use rrs_error::{Budget, RrsError};
+use rrs_fft::FftPlanCache;
 use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::Spectrum;
+use std::sync::{Arc, Mutex};
+
+/// Kernel area (`kw·kh`) above which [`ConvBackend::Auto`] dispatches to
+/// the FFT overlap-save engine. Measured with `bench_convolution`'s
+/// crossover probes (128×128 output, cropped kernels): at 13×13 the
+/// direct path's vectorised row accumulation still wins (FFT ~1.4× slower
+/// — tile setup dominates), the engines tie around 19×19–25×25, and FFT
+/// pulls ahead monotonically beyond (1.6× at 31×31, 4× at 64×64, 12× at
+/// 256×256). The boundary is placed at the last probed size where direct
+/// wins; `bench_convolution` fails CI if `Auto` ever resolves to a
+/// measurably slower engine, so drift shows up as a gate failure rather
+/// than a silent slowdown.
+pub(crate) const AUTO_CROSSOVER_KERNEL_AREA: usize = 169;
+
+/// Which engine evaluates the convolution sum (paper eqn 36).
+///
+/// `#[non_exhaustive]`: backends are an open set; match with a wildcard
+/// arm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvBackend {
+    /// The spatial-domain loop: exact reference semantics, bit-identical
+    /// across releases, fastest for small kernels. The default.
+    #[default]
+    Direct,
+    /// Frequency-domain overlap-save tiling (`O(N log N)`): equal to
+    /// `Direct` within floating-point roundoff (≤ 1e-9 relative — the
+    /// property suite enforces it), dramatically faster for large
+    /// kernels.
+    FftOverlapSave,
+    /// Picks per request: `FftOverlapSave` when the kernel area exceeds
+    /// the measured crossover
+    /// ([`AUTO_CROSSOVER_KERNEL_AREA`](self::AUTO_CROSSOVER_KERNEL_AREA)
+    /// = 13×13), `Direct` below it. What benches and examples advertise.
+    Auto,
+}
+
+impl ConvBackend {
+    /// The backend this policy actually runs for a `kw × kh` kernel:
+    /// `Auto` resolves through the measured crossover, the explicit
+    /// choices return themselves.
+    pub fn resolve(self, kw: usize, kh: usize) -> ConvBackend {
+        match self {
+            ConvBackend::Auto => {
+                if kw * kh > AUTO_CROSSOVER_KERNEL_AREA {
+                    ConvBackend::FftOverlapSave
+                } else {
+                    ConvBackend::Direct
+                }
+            }
+            other => other,
+        }
+    }
+}
 
 /// Homogeneous surface generator by real-space convolution.
 pub struct ConvolutionGenerator {
@@ -32,6 +88,13 @@ pub struct ConvolutionGenerator {
     workers: usize,
     obs: Recorder,
     budget: Budget,
+    backend: ConvBackend,
+    fft: FftEngine,
+    /// Noise-window scratch reused across requests (the streaming bench
+    /// materialises hundreds of same-shape windows per run); concurrent
+    /// requests that lose the `try_lock` race fall back to a fresh
+    /// allocation, so sharing a generator across threads stays safe.
+    scratch: Mutex<Vec<f64>>,
 }
 
 impl ConvolutionGenerator {
@@ -62,6 +125,9 @@ impl ConvolutionGenerator {
             workers: rrs_par::default_workers(),
             obs: Recorder::disabled(),
             budget: Budget::unlimited(),
+            backend: ConvBackend::default(),
+            fft: FftEngine::new(Arc::new(FftPlanCache::new())),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -70,6 +136,46 @@ impl ConvolutionGenerator {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Selects the convolution engine. [`ConvBackend::Direct`] (the
+    /// default) keeps the reference spatial loop — bit-identical across
+    /// releases; [`ConvBackend::FftOverlapSave`] evaluates the same sum
+    /// in the frequency domain (equal within 1e-9 relative);
+    /// [`ConvBackend::Auto`] picks per kernel size. Each request ticks
+    /// [`stage::CONV_BACKEND_DIRECT`] or [`stage::CONV_BACKEND_FFT`] for
+    /// the engine it actually ran.
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured backend policy (not yet resolved — see
+    /// [`ConvolutionGenerator::resolved_backend`]).
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// The backend this generator actually runs for its kernel:
+    /// `Auto` resolved through the measured crossover.
+    pub fn resolved_backend(&self) -> ConvBackend {
+        let (kw, kh) = self.kernel.extent();
+        self.backend.resolve(kw, kh)
+    }
+
+    /// Shares an [`FftPlanCache`] with this generator (and, through
+    /// [`StripGenerator`](crate::StripGenerator), with streams built on
+    /// it), so several generators transforming the same tile shapes reuse
+    /// one set of twiddle tables. Clears nothing: the generator's cached
+    /// kernel spectra are keyed independently.
+    pub fn with_plan_cache(mut self, plans: Arc<FftPlanCache>) -> Self {
+        self.fft = FftEngine::new(plans);
+        self
+    }
+
+    /// The FFT plan cache backing the overlap-save engine.
+    pub fn plan_cache(&self) -> &Arc<FftPlanCache> {
+        self.fft.plans()
     }
 
     /// Attaches a recorder for stage timings and counters. Observation
@@ -135,13 +241,22 @@ impl ConvolutionGenerator {
         let ww = win.nx + kw - 1;
         let wh = win.ny + kh - 1;
         // Noise window plus output field, in u128 so the estimate itself
-        // cannot overflow even for windows far beyond addressable memory.
-        let samples = ww as u128 * wh as u128 + win.nx as u128 * win.ny as u128;
+        // cannot overflow even for windows far beyond addressable memory;
+        // the FFT backend additionally admits its complex tile workspace.
+        let mut samples = ww as u128 * wh as u128 + win.nx as u128 * win.ny as u128;
+        if self.backend.resolve(kw, kh) == ConvBackend::FftOverlapSave {
+            samples += fftconv::plan_tiles(win.nx, win.ny, kw, kh).scratch_samples();
+        }
         self.admit("convolution generation", samples)?;
         let span = self.obs.start(stage::WINDOW_MATERIALISE);
-        let noise_win = noise.window(wx0, wy0, ww, wh);
+        // Reuse the generator's scratch window when uncontended; a second
+        // concurrent request simply materialises into its own buffer.
+        let mut local = Vec::new();
+        let mut guard = self.scratch.try_lock().ok();
+        let buf: &mut Vec<f64> = guard.as_deref_mut().unwrap_or(&mut local);
+        noise.window_into(wx0, wy0, ww, wh, buf);
         self.obs.finish(span);
-        self.correlate(&noise_win, ww, win.nx, win.ny)
+        self.dispatch(buf, ww, wh, win.nx, win.ny)
     }
 
     /// Generates the surface samples requested by `win` from the
@@ -185,10 +300,85 @@ impl ConvolutionGenerator {
         self.generate(noise, win)
     }
 
+    /// Routes an already-materialised window to the engine the backend
+    /// policy resolves to, ticking the per-request dispatch counter.
+    fn dispatch(
+        &self,
+        win: &[f64],
+        ww: usize,
+        wh: usize,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Grid2<f64>, RrsError> {
+        let (kw, kh) = self.kernel.extent();
+        match self.backend.resolve(kw, kh) {
+            ConvBackend::FftOverlapSave => {
+                self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+                self.fft.convolve(
+                    0,
+                    &self.kernel,
+                    win,
+                    ww,
+                    wh,
+                    nx,
+                    ny,
+                    self.workers,
+                    &self.obs,
+                    &self.budget,
+                )
+            }
+            _ => {
+                self.obs.add_counter(stage::CONV_BACKEND_DIRECT, 1);
+                self.correlate(win, ww, nx, ny)
+            }
+        }
+    }
+
+    /// Correlates a pre-materialised noise window against the kernel
+    /// through the configured backend: `win` must be the row-major
+    /// `(nx+kw−1) × (ny+kh−1)` window a `nx × ny` request materialises
+    /// (see [`ConvolutionGenerator::try_generate`] for its origin).
+    /// Public so benchmarks and equivalence suites can time and compare
+    /// the correlate stage in isolation from window materialisation.
+    pub fn try_correlate_window(
+        &self,
+        win: &[f64],
+        nx: usize,
+        ny: usize,
+    ) -> Result<Grid2<f64>, RrsError> {
+        if nx == 0 || ny == 0 {
+            return Err(RrsError::invalid_param(
+                "window",
+                format!("output window must be non-empty, got {nx}x{ny}"),
+            ));
+        }
+        let (kw, kh) = self.kernel.extent();
+        let ww = nx + kw - 1;
+        let wh = ny + kh - 1;
+        if win.len() != ww * wh {
+            return Err(RrsError::shape_mismatch(
+                "noise window does not match the requested output",
+                format!("{ww}x{wh} = {} samples", ww * wh),
+                win.len(),
+            ));
+        }
+        self.budget.check()?;
+        self.dispatch(win, ww, wh, nx, ny)
+    }
+
     /// The inner correlation: `out[ix,iy] = Σ_{a,b} w̃[a,b] ·
     /// win[ix + kw−1−a, iy + kh−1−b]` — convolution with the kernel
     /// flipped, which realises `Σ_j w̃(j)·X(n−j)` on the materialised
     /// window.
+    ///
+    /// Loop structure: for each output row, each kernel row contributes a
+    /// sub-sum `s_row` accumulated *elementwise over output columns* —
+    /// `s_row[ix] += w̃[a,b]·win[ix + kw−1−a]` with `ix` innermost over
+    /// contiguous, independent lanes, which the compiler autovectorizes.
+    /// Per output sample the floating-point operation sequence (kernel
+    /// row sub-sum in ascending `a`, then `acc += s` in ascending `b`) is
+    /// exactly the historical scalar loop's, so output stays bit-identical
+    /// to every seed release.
     fn correlate(&self, win: &[f64], ww: usize, nx: usize, ny: usize) -> Result<Grid2<f64>, RrsError> {
         let (kw, kh) = self.kernel.extent();
         let kernel = self.kernel.weights();
@@ -202,24 +392,27 @@ impl ConvolutionGenerator {
             &self.obs,
             &self.budget,
             |iy0, chunk| {
+                let mut s_row = vec![0.0f64; nx];
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                     let iy = iy0 + row_off;
-                    for (ix, slot) in row.iter_mut().enumerate() {
-                        let mut acc = 0.0;
-                        for b in 0..kh {
-                            let krow = kernel.row(b);
-                            let wrow_y = iy + kh - 1 - b;
-                            let wbase = wrow_y * ww + ix;
-                            // Σ_a w̃[a,b] · win[ix + kw−1−a, wrow_y]: reverse
-                            // the kernel row against a forward window slice.
-                            let wslice = &win[wbase..wbase + kw];
-                            let mut s = 0.0;
-                            for (a, &kv) in krow.iter().enumerate() {
-                                s += kv * wslice[kw - 1 - a];
+                    // `row` starts zeroed and plays the per-sample
+                    // accumulator; adding each kernel row's sub-sum in
+                    // ascending `b` preserves the scalar op order.
+                    for b in 0..kh {
+                        let krow = kernel.row(b);
+                        let wrow = &win[(iy + kh - 1 - b) * ww..][..ww];
+                        s_row.fill(0.0);
+                        for (a, &kv) in krow.iter().enumerate() {
+                            // Σ_a w̃[a,b] · win[ix + kw−1−a]: the reversed
+                            // window index becomes a forward slice offset.
+                            let wseg = &wrow[kw - 1 - a..][..nx];
+                            for (s, &w) in s_row.iter_mut().zip(wseg) {
+                                *s += kv * w;
                             }
-                            acc += s;
                         }
-                        *slot = acc;
+                        for (slot, &s) in row.iter_mut().zip(&s_row) {
+                            *slot += s;
+                        }
                     }
                 }
                 let mut shard = self.obs.shard();

@@ -1,0 +1,275 @@
+//! Overlap-save FFT convolution — the `ConvBackend::FftOverlapSave`
+//! engine behind [`ConvolutionGenerator`](crate::ConvolutionGenerator).
+//!
+//! The direct correlate loop costs `O(nx·ny·kw·kh)`; by the convolution
+//! theorem the same surface is `IFFT(FFT(X)·FFT(w̃))` at
+//! `O(N log N)`. Materialised windows are unbounded in principle, so the
+//! engine processes them in **overlap-save tiles**: each tile loads an
+//! `fft_nx × fft_ny` segment of the noise window, transforms it,
+//! multiplies by the cached kernel spectrum, inverse-transforms, and
+//! keeps only the `(fft_nx−kw+1) × (fft_ny−kh+1)` outputs whose circular
+//! convolution never wrapped.
+//!
+//! # Tile correctness
+//!
+//! With the kernel zero-padded at the tile origin, the circular
+//! convolution of a segment starting at window column `ox` satisfies
+//! `c[m] = Σ_j w̃[j]·seg[m−j]` exactly for `m ≥ kw−1` (no index wraps:
+//! the kernel support is `[0, kw)`), and `seg[m−j] = win[ox+m−j]`, so
+//! `c[(ix−ox)+kw−1] = Σ_a w̃[a]·win[ix+kw−1−a] = out[ix]` — the direct
+//! loop's sum, evaluated in the frequency domain. Per-axis the same
+//! argument holds for rows. Zero-padding past the right/top window edge
+//! only reaches `c[m]` with `m ≥ ww−ox`, i.e. output indices `≥ nx`,
+//! which the scatter step discards.
+//!
+//! # Cost model
+//!
+//! The tile side is chosen by brute-force minimisation of
+//! `tiles · fft_area · (log2(fft_area) + 1)` over power-of-two sides —
+//! small tiles amortise badly (little valid output per transform), huge
+//! tiles waste work past the output edge. The search space is tiny
+//! (≤ ~12 candidates per axis), so the exact model is evaluated rather
+//! than approximated.
+
+use crate::kernel::ConvolutionKernel;
+use rrs_error::{Budget, RrsError};
+use rrs_fft::{Direction, FftPlanCache};
+use rrs_grid::Grid2;
+use rrs_num::Complex64;
+use rrs_obs::{stage, ObsSink, Recorder};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The overlap-save tile shape chosen for one `(output, kernel)` geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileShape {
+    /// FFT side along x (power of two, ≥ `kw`).
+    pub fft_nx: usize,
+    /// FFT side along y (power of two, ≥ `kh`).
+    pub fft_ny: usize,
+}
+
+impl TileShape {
+    /// Valid (non-wrapped) outputs per tile along each axis.
+    pub fn valid(&self, kw: usize, kh: usize) -> (usize, usize) {
+        (self.fft_nx - kw + 1, self.fft_ny - kh + 1)
+    }
+
+    /// Complex workspace footprint of the engine for this shape, in
+    /// f64-equivalents: one tile buffer plus one cached kernel spectrum,
+    /// two f64s per complex sample each.
+    pub fn scratch_samples(&self) -> u128 {
+        4 * self.fft_nx as u128 * self.fft_ny as u128
+    }
+}
+
+/// Per-axis power-of-two candidates: from the smallest that admits at
+/// least one valid output to the smallest that covers the whole axis in
+/// one tile.
+fn axis_candidates(out_n: usize, k: usize) -> Vec<usize> {
+    let lo = k.next_power_of_two();
+    let hi = (out_n + k - 1).next_power_of_two().max(lo);
+    let mut c = Vec::new();
+    let mut n = lo;
+    while n <= hi {
+        c.push(n);
+        n *= 2;
+    }
+    c
+}
+
+/// Chooses the overlap-save tile for an `nx × ny` output under a
+/// `kw × kh` kernel by exact evaluation of the modelled transform cost
+/// over all power-of-two tile shapes. Deterministic in its arguments, so
+/// admission control and the convolve loop agree on the footprint.
+pub fn plan_tiles(nx: usize, ny: usize, kw: usize, kh: usize) -> TileShape {
+    let mut best = TileShape { fft_nx: 0, fft_ny: 0 };
+    let mut best_cost = f64::INFINITY;
+    for &fx in &axis_candidates(nx, kw) {
+        let tiles_x = nx.div_ceil(fx - kw + 1) as f64;
+        for &fy in &axis_candidates(ny, kh) {
+            let tiles_y = ny.div_ceil(fy - kh + 1) as f64;
+            let area = (fx * fy) as f64;
+            let cost = tiles_x * tiles_y * area * (area.log2() + 1.0);
+            if cost < best_cost {
+                best_cost = cost;
+                best = TileShape { fft_nx: fx, fft_ny: fy };
+            }
+        }
+    }
+    best
+}
+
+/// The overlap-save engine: an [`FftPlanCache`] shared through the owning
+/// generator plus the forward transforms of its kernels, cached per
+/// `(kernel id, tile shape)` so repeated windows and strip tiles never
+/// re-transform the kernel.
+pub struct FftEngine {
+    plans: Arc<FftPlanCache>,
+    kernel_ffts: Mutex<HashMap<(usize, usize, usize), Arc<Vec<Complex64>>>>,
+}
+
+impl FftEngine {
+    /// Builds an engine drawing 2-D transforms from `plans`.
+    pub fn new(plans: Arc<FftPlanCache>) -> Self {
+        Self { plans, kernel_ffts: Mutex::new(HashMap::new()) }
+    }
+
+    /// The plan cache this engine draws 2-D transforms from.
+    pub fn plans(&self) -> &Arc<FftPlanCache> {
+        &self.plans
+    }
+
+    /// The kernel spectrum on the `tile` lattice: the kernel weights
+    /// zero-padded at the tile origin and forward-transformed once, then
+    /// cached under `kernel_id` (callers with several kernels — the
+    /// inhomogeneous blender — key each one distinctly).
+    fn kernel_spectrum(
+        &self,
+        kernel_id: usize,
+        kernel: &ConvolutionKernel,
+        tile: TileShape,
+        workers: usize,
+    ) -> Arc<Vec<Complex64>> {
+        let key = (kernel_id, tile.fft_nx, tile.fft_ny);
+        if let Some(cached) = self.kernel_ffts.lock().expect("kernel fft cache poisoned").get(&key)
+        {
+            return cached.clone();
+        }
+        let (kw, kh) = kernel.extent();
+        let weights = kernel.weights();
+        let mut buf = vec![Complex64::ZERO; tile.fft_nx * tile.fft_ny];
+        for b in 0..kh {
+            let krow = weights.row(b);
+            let dst = &mut buf[b * tile.fft_nx..b * tile.fft_nx + kw];
+            for (slot, &v) in dst.iter_mut().zip(krow) {
+                *slot = Complex64::from_re(v);
+            }
+        }
+        self.plans.plan(tile.fft_nx, tile.fft_ny, workers).process(&mut buf, Direction::Forward);
+        let arc = Arc::new(buf);
+        self.kernel_ffts
+            .lock()
+            .expect("kernel fft cache poisoned")
+            .entry(key)
+            .or_insert(arc)
+            .clone()
+    }
+
+    /// Convolves a materialised `ww × wh` noise window with `kernel`,
+    /// producing the `nx × ny` output — the exact sum the direct loop
+    /// computes (`out[ix,iy] = Σ w̃[a,b]·win[ix+kw−1−a, iy+kh−1−b]`), via
+    /// overlap-save tiles. The attached budget is polled once per tile
+    /// (ticking [`stage::BUDGET_POLLS`]), so deadlines and cancellation
+    /// take effect at tile granularity like the direct path's band
+    /// slices.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convolve(
+        &self,
+        kernel_id: usize,
+        kernel: &ConvolutionKernel,
+        win: &[f64],
+        ww: usize,
+        wh: usize,
+        nx: usize,
+        ny: usize,
+        workers: usize,
+        obs: &Recorder,
+        budget: &Budget,
+    ) -> Result<Grid2<f64>, RrsError> {
+        let (kw, kh) = kernel.extent();
+        debug_assert_eq!(win.len(), ww * wh);
+        debug_assert_eq!(ww, nx + kw - 1);
+        debug_assert_eq!(wh, ny + kh - 1);
+        let tile_shape = plan_tiles(nx, ny, kw, kh);
+        let (fx, fy) = (tile_shape.fft_nx, tile_shape.fft_ny);
+        let (vx, vy) = tile_shape.valid(kw, kh);
+        let fft = self.plans.plan(fx, fy, workers);
+        let kspec = self.kernel_spectrum(kernel_id, kernel, tile_shape, workers);
+        let polling = budget.needs_polling();
+
+        let mut out = Grid2::zeros(nx, ny);
+        let out_slice = out.as_mut_slice();
+        let mut tile = vec![Complex64::ZERO; fx * fy];
+        let span = obs.start(stage::CORRELATE);
+        let mut tiles = 0u64;
+        let mut oy = 0;
+        while oy < ny {
+            let mut ox = 0;
+            while ox < nx {
+                if polling {
+                    obs.add_counter(stage::BUDGET_POLLS, 1);
+                    budget.check()?;
+                }
+                // Gather the segment [ox, ox+fx) × [oy, oy+fy) of the
+                // window, zero-padded past its edges.
+                let cols = (ww - ox).min(fx);
+                for ty in 0..fy {
+                    let trow = &mut tile[ty * fx..(ty + 1) * fx];
+                    let wy = oy + ty;
+                    if wy < wh {
+                        let wrow = &win[wy * ww + ox..wy * ww + ox + cols];
+                        for (slot, &v) in trow.iter_mut().zip(wrow) {
+                            *slot = Complex64::from_re(v);
+                        }
+                        trow[cols..].fill(Complex64::ZERO);
+                    } else {
+                        trow.fill(Complex64::ZERO);
+                    }
+                }
+                fft.process(&mut tile, Direction::Forward);
+                for (z, k) in tile.iter_mut().zip(kspec.iter()) {
+                    *z = *z * *k;
+                }
+                fft.process(&mut tile, Direction::Inverse);
+                // Scatter the non-wrapped outputs.
+                let cx = (nx - ox).min(vx);
+                let cy = (ny - oy).min(vy);
+                for dy in 0..cy {
+                    let src = (kh - 1 + dy) * fx + (kw - 1);
+                    let dst = (oy + dy) * nx + ox;
+                    for dx in 0..cx {
+                        out_slice[dst + dx] = tile[src + dx].re;
+                    }
+                }
+                tiles += 1;
+                ox += vx;
+            }
+            oy += vy;
+        }
+        obs.finish(span);
+        obs.add_counter(stage::CONV_FFT_TILES, tiles);
+        obs.add_counter(stage::CORRELATE_SAMPLES, (nx * ny) as u64);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_plan_admits_valid_output_and_covers_kernel() {
+        for &(nx, ny, kw, kh) in &[
+            (128usize, 128usize, 65usize, 65usize),
+            (32, 32, 17, 17),
+            (256, 8, 33, 9),
+            (5, 5, 3, 7),
+            (1, 1, 1, 1),
+        ] {
+            let t = plan_tiles(nx, ny, kw, kh);
+            assert!(t.fft_nx.is_power_of_two() && t.fft_ny.is_power_of_two());
+            assert!(t.fft_nx >= kw && t.fft_ny >= kh, "{t:?} vs kernel {kw}x{kh}");
+            let (vx, vy) = t.valid(kw, kh);
+            assert!(vx >= 1 && vy >= 1);
+            // Never larger than one tile covering the whole problem.
+            assert!(t.fft_nx <= (nx + kw - 1).next_power_of_two());
+            assert!(t.fft_ny <= (ny + kh - 1).next_power_of_two());
+        }
+    }
+
+    #[test]
+    fn tile_plan_is_deterministic() {
+        assert_eq!(plan_tiles(128, 128, 65, 65), plan_tiles(128, 128, 65, 65));
+    }
+}

@@ -19,7 +19,7 @@
 
 use rrs_error::RrsError;
 use rrs_fft::spectral::fftshift2;
-use rrs_fft::{Direction, Fft2d};
+use rrs_fft::{Direction, FftPlanCache};
 use rrs_grid::Grid2;
 use rrs_num::Complex64;
 use rrs_obs::{stage, Recorder};
@@ -112,7 +112,9 @@ impl ConvolutionKernel {
         let span = obs.start(stage::KERNEL_DFT);
         let mut buf: Vec<Complex64> =
             v.as_slice().iter().map(|&x| Complex64::from_re(x)).collect();
-        Fft2d::with_workers(nx, ny, 1).process(&mut buf, Direction::Forward);
+        // Inhomogeneous layouts build several kernels on one lattice; the
+        // process-wide plan cache transforms them with shared tables.
+        FftPlanCache::global().plan(nx, ny, 1).process(&mut buf, Direction::Forward);
         obs.finish(span);
         let span = obs.start(stage::KERNEL_PERMUTE);
         let norm = 1.0 / ((nx * ny) as f64).sqrt();

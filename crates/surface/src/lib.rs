@@ -23,13 +23,22 @@
 
 pub mod conv;
 pub mod direct;
+mod fftconv;
 pub mod line;
 pub mod hermitian;
 pub mod kernel;
 pub mod noise;
 pub mod stream;
 
-pub use conv::ConvolutionGenerator;
+pub use conv::{ConvBackend, ConvolutionGenerator};
+
+#[doc(hidden)]
+pub mod internal {
+    //! Workspace-internal seam: the overlap-save engine, shared with
+    //! `rrs-inhomo` so pure-region windows dispatch to the same FFT path
+    //! as the homogeneous generator. Not a stable public API.
+    pub use crate::fftconv::{plan_tiles, FftEngine, TileShape};
+}
 pub use direct::DirectDftGenerator;
 pub use kernel::{ConvolutionKernel, KernelSizing};
 pub use line::{LineGenerator, LineKernel};

@@ -52,13 +52,23 @@ impl NoiseField {
     /// Fills a row-major `w × h` buffer with the window whose lower corner
     /// (minimum indices) is `(x0, y0)`.
     pub fn window(&self, x0: i64, y0: i64, w: usize, h: usize) -> Vec<f64> {
-        let mut out = Vec::with_capacity(w * h);
+        let mut out = Vec::new();
+        self.window_into(x0, y0, w, h, &mut out);
+        out
+    }
+
+    /// [`NoiseField::window`] into a caller-owned buffer: `out` is cleared
+    /// and refilled, reusing its allocation. Tile loops that materialise
+    /// hundreds of windows per run keep one scratch vector alive instead
+    /// of reallocating per tile.
+    pub fn window_into(&self, x0: i64, y0: i64, w: usize, h: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(w * h);
         for iy in 0..h as i64 {
             for ix in 0..w as i64 {
                 out.push(self.at(x0 + ix, y0 + iy));
             }
         }
-        out
     }
 
     /// A complex deviate with independent `N(0, 1/2)` parts (unit second
@@ -106,6 +116,18 @@ mod tests {
                 assert_eq!(w[(iy * 5 + ix) as usize], f.at(-3 + ix, 4 + iy));
             }
         }
+    }
+
+    #[test]
+    fn window_into_matches_window_and_reuses_allocation() {
+        let f = NoiseField::new(9);
+        let mut buf = vec![7.0; 3]; // stale contents and wrong size
+        f.window_into(-3, 4, 5, 4, &mut buf);
+        assert_eq!(buf, f.window(-3, 4, 5, 4));
+        let ptr = buf.as_ptr();
+        f.window_into(7, -2, 4, 3, &mut buf); // smaller: no regrow
+        assert_eq!(buf, f.window(7, -2, 4, 3));
+        assert_eq!(buf.as_ptr(), ptr, "refill within capacity must not reallocate");
     }
 
     #[test]

@@ -76,6 +76,21 @@ impl StripGenerator {
         self
     }
 
+    /// Selects the convolution engine for every strip — see
+    /// [`ConvBackend`](crate::ConvBackend). Strips from
+    /// [`ConvBackend::FftOverlapSave`](crate::ConvBackend) tile as
+    /// seamlessly as direct ones (the backend changes arithmetic order,
+    /// not the window geometry), within floating-point roundoff.
+    pub fn with_backend(mut self, backend: crate::ConvBackend) -> Self {
+        self.gen = self.gen.with_backend(backend);
+        self
+    }
+
+    /// The backend policy of the inner generator.
+    pub fn backend(&self) -> crate::ConvBackend {
+        self.gen.backend()
+    }
+
     /// Attaches a resource [`Budget`](rrs_error::Budget) to the inner
     /// convolution generator. Every strip request —
     /// [`StripGenerator::try_strip_at`] as well as the sequential

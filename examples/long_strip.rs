@@ -18,7 +18,10 @@ fn main() {
     let height = 128usize;
     let tile = 512usize;
     let tiles = 16usize;
-    let mut gen = StripGenerator::new(&spectrum, KernelSizing::default(), height, 31);
+    // Auto picks the overlap-save FFT engine for this kernel size and
+    // reuses its cached kernel spectrum across every tile below.
+    let mut gen = StripGenerator::new(&spectrum, KernelSizing::default(), height, 31)
+        .with_backend(ConvBackend::Auto);
 
     println!(
         "streaming a {}-sample-high surface in {} tiles of width {} (total length {})",
@@ -51,7 +54,10 @@ fn main() {
     );
 
     // Seamlessness: a window straddling a tile boundary equals the
-    // corresponding pieces of the sequential tiles, exactly.
+    // corresponding pieces of the sequential tiles. Under the FFT
+    // backend the three requests use different tile plans, so they
+    // agree to floating-point roundoff; under ConvBackend::Direct the
+    // reconstruction is exactly 0.
     let boundary = tile as i64;
     let straddle = gen.strip_at(boundary - 8, 16);
     let left = gen.strip_at(boundary - 8, 8);
@@ -63,6 +69,6 @@ fn main() {
             max_err = max_err.max((straddle.get(ix + 8, iy) - right.get(ix, iy)).abs());
         }
     }
-    println!("tile-boundary reconstruction error: {max_err:.3e} (exactly 0 = seamless)");
-    assert_eq!(max_err, 0.0);
+    println!("tile-boundary reconstruction error: {max_err:.3e} (seamless to roundoff)");
+    assert!(max_err < 1e-9, "seams must agree to roundoff, got {max_err:e}");
 }

@@ -100,8 +100,9 @@ pub mod prelude {
         SurfaceParams,
     };
     pub use rrs_stats::{validate_region, RegionReport};
+    pub use rrs_fft::FftPlanCache;
     pub use rrs_surface::{
-        ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing, LineGenerator,
-        LineKernel, NoiseField, StripGenerator,
+        ConvBackend, ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing,
+        LineGenerator, LineKernel, NoiseField, StripGenerator,
     };
 }

@@ -236,3 +236,84 @@ fn retrying_checkpoints_compose_with_budgeted_streams() {
         assert_eq!(got.as_slice(), want.as_slice(), "strip {i} differs after resume");
     }
 }
+
+// --- The FFT overlap-save backend honours the same budget contract. ---
+
+fn fft_generator() -> ConvolutionGenerator {
+    let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+    ConvolutionGenerator::new(&s, KernelSizing::Explicit(GridSpec::unit(16, 16)))
+        .with_workers(2)
+        .with_backend(ConvBackend::FftOverlapSave)
+}
+
+#[test]
+fn fft_backend_polls_budget_at_tile_granularity() {
+    use rrs::obs::stage;
+    // An armed-but-idle budget must poll at least once per overlap-save
+    // tile — that is the granularity at which cancellation can take
+    // effect — and must not change a single output bit.
+    let noise = NoiseField::new(SEED);
+    let win = Window::sized(96, 96);
+    let plain = fft_generator().generate(&noise, win);
+
+    let rec = Recorder::enabled();
+    let armed = fft_generator().with_recorder(rec.clone()).with_budget(
+        Budget::unlimited()
+            .with_cancel_token(CancelToken::new())
+            .with_timeout(Duration::from_secs(3600)),
+    );
+    assert_eq!(armed.try_generate(&noise, win).unwrap(), plain);
+    let report = rec.report();
+    let tiles = report.counter(stage::CONV_FFT_TILES);
+    let polls = report.counter(stage::BUDGET_POLLS);
+    assert_eq!(report.counter(stage::CONV_BACKEND_FFT), 1);
+    assert!(tiles >= 1, "the FFT engine must tile the window");
+    assert!(polls >= tiles, "one budget poll per tile minimum: {polls} polls, {tiles} tiles");
+}
+
+#[test]
+fn fft_backend_rejections_match_the_direct_contract() {
+    let noise = NoiseField::new(SEED);
+    // Pre-cancelled: the pre-flight check fires before the huge window
+    // (or any FFT scratch) is allocated.
+    let token = CancelToken::new();
+    token.cancel();
+    let gen = fft_generator().with_budget(Budget::unlimited().with_cancel_token(token));
+    let huge = Window::new(0, 0, 1 << 30, 1 << 30);
+    let err = gen.try_generate(&noise, huge).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Cancelled);
+
+    // Expired deadline: deterministic across calls, like the direct path.
+    let expired = fft_generator()
+        .with_budget(Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1)));
+    for _ in 0..3 {
+        let err = expired.try_generate(&noise, Window::sized(32, 32)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DeadlineExceeded, "deterministic across calls");
+    }
+
+    // Admission control counts the complex tile scratch the FFT engine
+    // needs on top of the window and output, and still fires before any
+    // of it is allocated.
+    let gen = fft_generator().with_budget(Budget::unlimited().with_max_bytes(1 << 20));
+    let err = gen.try_generate(&noise, huge).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::BudgetExceeded);
+}
+
+#[test]
+fn fft_stream_cursor_does_not_advance_on_cancel() {
+    let token = CancelToken::new();
+    let mut sg = StripGenerator::from_generator(
+        fft_generator().with_budget(Budget::unlimited().with_cancel_token(token.clone())),
+        NY,
+        SEED,
+    );
+    let first = sg.next_strip(STRIP_W);
+    assert_eq!(sg.cursor(), STRIP_W as i64);
+    token.cancel();
+    let err = sg.try_next_strip(STRIP_W).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Cancelled);
+    assert_eq!(sg.cursor(), STRIP_W as i64, "failed FFT strip must not advance the cursor");
+    // The emitted prefix still matches an unbudgeted FFT stream.
+    let mut fresh = StripGenerator::from_generator(fft_generator(), NY, SEED);
+    assert_eq!(fresh.next_strip(STRIP_W), first);
+}
