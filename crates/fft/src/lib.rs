@@ -32,14 +32,18 @@ pub mod bluestein;
 pub mod dft;
 pub mod fft2d;
 pub mod plan;
+pub mod rfft;
 pub mod spectral;
 
 use rrs_num::Complex64;
+use rrs_obs::{stage, ObsSink, Recorder};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;
+pub use rfft::RealFft2d;
 
 /// Transform direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,18 +130,36 @@ impl Planner {
     }
 }
 
-/// A shared, thread-safe cache of prepared 2-D transforms keyed on
-/// `(nx, ny, workers)`.
+/// Discriminates the plan families one [`FftPlanCache`] holds behind a
+/// single keying scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum PlanKind {
+    Complex,
+    Real,
+}
+
+/// One cached plan; the kind in the key decides which variant a slot
+/// holds, so lookups never cross families.
+enum CachedPlan {
+    Complex(Arc<Fft2d>),
+    Real(Arc<RealFft2d>),
+}
+
+/// A shared, thread-safe cache of prepared 2-D transforms — complex
+/// ([`Fft2d`]) and real-input ([`RealFft2d`]) — keyed on
+/// `(kind, nx, ny, workers)`.
 ///
 /// [`Fft2d::new`] recomputes twiddles and bit-reversal tables on every
 /// construction; hot paths that transform the same shape repeatedly
 /// (overlap-save convolution tiles, autocorrelation / periodogram
 /// estimators, spectrum verification) fetch their plan here instead.
-/// Plans are immutable once built, so sharing one [`Arc<Fft2d>`] across
-/// threads is free.
+/// Plans are immutable once built, so sharing one `Arc` across threads
+/// is free. The `_observed` variants tick [`stage::FFT_PLAN_HIT`] /
+/// [`stage::FFT_PLAN_MISS`] so cache effectiveness is visible in
+/// reports.
 #[derive(Default)]
 pub struct FftPlanCache {
-    cache: Mutex<HashMap<(usize, usize, usize), Arc<Fft2d>>>,
+    cache: Mutex<HashMap<(PlanKind, usize, usize, usize), CachedPlan>>,
 }
 
 impl FftPlanCache {
@@ -146,15 +168,72 @@ impl FftPlanCache {
         Self::default()
     }
 
-    /// Fetches (or builds and caches) the `nx × ny` transform with the
-    /// given worker count.
+    /// Fetches (or builds and caches) the complex `nx × ny` transform
+    /// with the given worker count.
     pub fn plan(&self, nx: usize, ny: usize, workers: usize) -> Arc<Fft2d> {
+        self.plan_observed(nx, ny, workers, &Recorder::disabled())
+    }
+
+    /// [`FftPlanCache::plan`] with cache hits and misses ticked into
+    /// `obs` ([`stage::FFT_PLAN_HIT`] / [`stage::FFT_PLAN_MISS`]).
+    pub fn plan_observed(
+        &self,
+        nx: usize,
+        ny: usize,
+        workers: usize,
+        obs: &Recorder,
+    ) -> Arc<Fft2d> {
         let workers = workers.max(1);
         let mut cache = self.cache.lock().expect("plan cache lock poisoned");
-        cache
-            .entry((nx, ny, workers))
-            .or_insert_with(|| Arc::new(Fft2d::with_workers(nx, ny, workers)))
-            .clone()
+        match cache.entry((PlanKind::Complex, nx, ny, workers)) {
+            Entry::Occupied(slot) => {
+                obs.add_counter(stage::FFT_PLAN_HIT, 1);
+                match slot.get() {
+                    CachedPlan::Complex(p) => p.clone(),
+                    CachedPlan::Real(_) => unreachable!("complex key holds a complex plan"),
+                }
+            }
+            Entry::Vacant(slot) => {
+                obs.add_counter(stage::FFT_PLAN_MISS, 1);
+                let p = Arc::new(Fft2d::with_workers(nx, ny, workers));
+                slot.insert(CachedPlan::Complex(p.clone()));
+                p
+            }
+        }
+    }
+
+    /// Fetches (or builds and caches) the real-input `nx × ny` transform
+    /// with the given worker count.
+    pub fn plan_real(&self, nx: usize, ny: usize, workers: usize) -> Arc<RealFft2d> {
+        self.plan_real_observed(nx, ny, workers, &Recorder::disabled())
+    }
+
+    /// [`FftPlanCache::plan_real`] with cache hits and misses ticked into
+    /// `obs` ([`stage::FFT_PLAN_HIT`] / [`stage::FFT_PLAN_MISS`]).
+    pub fn plan_real_observed(
+        &self,
+        nx: usize,
+        ny: usize,
+        workers: usize,
+        obs: &Recorder,
+    ) -> Arc<RealFft2d> {
+        let workers = workers.max(1);
+        let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+        match cache.entry((PlanKind::Real, nx, ny, workers)) {
+            Entry::Occupied(slot) => {
+                obs.add_counter(stage::FFT_PLAN_HIT, 1);
+                match slot.get() {
+                    CachedPlan::Real(p) => p.clone(),
+                    CachedPlan::Complex(_) => unreachable!("real key holds a real plan"),
+                }
+            }
+            Entry::Vacant(slot) => {
+                obs.add_counter(stage::FFT_PLAN_MISS, 1);
+                let p = Arc::new(RealFft2d::with_workers(nx, ny, workers));
+                slot.insert(CachedPlan::Real(p.clone()));
+                p
+            }
+        }
     }
 
     /// Number of distinct plans currently cached.
@@ -348,6 +427,35 @@ mod tests {
         let d = cache.plan(16, 8, 0);
         assert!(Arc::ptr_eq(&a, &d));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_keys_real_and_complex_separately() {
+        let cache = FftPlanCache::new();
+        let c = cache.plan(16, 8, 1);
+        let r = cache.plan_real(16, 8, 1);
+        assert_eq!(cache.len(), 2, "real and complex plans of one shape coexist");
+        let r2 = cache.plan_real(16, 8, 1);
+        assert!(Arc::ptr_eq(&r, &r2), "same real key must share one plan");
+        assert_eq!(c.shape(), r.shape());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn observed_plan_requests_tick_hit_and_miss_counters() {
+        let cache = FftPlanCache::new();
+        let rec = Recorder::enabled();
+        cache.plan_observed(8, 8, 1, &rec);
+        cache.plan_real_observed(8, 8, 1, &rec);
+        let report = rec.report();
+        assert_eq!(report.counter(stage::FFT_PLAN_MISS), 2, "two cold builds");
+        assert_eq!(report.counter(stage::FFT_PLAN_HIT), 0);
+        cache.plan_observed(8, 8, 1, &rec);
+        cache.plan_real_observed(8, 8, 1, &rec);
+        cache.plan_real_observed(8, 8, 1, &rec);
+        let report = rec.report();
+        assert_eq!(report.counter(stage::FFT_PLAN_MISS), 2, "warm requests build nothing");
+        assert_eq!(report.counter(stage::FFT_PLAN_HIT), 3);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rrs_fft::FftPlanCache;
 use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::SpectrumModel;
-use rrs_surface::internal::{plan_tiles, FftEngine};
+use rrs_surface::internal::{effective_workers, plan_tiles, FftEngine};
 use rrs_surface::{ConvBackend, ConvolutionKernel, KernelSizing, NoiseField};
 use std::sync::Arc;
 
@@ -248,8 +248,12 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                 })?;
             if let Some(ki) = self.pure_kernel(win) {
                 let (kw, kh) = self.kernels[ki].extent();
-                if self.backend.resolve(kw, kh) == ConvBackend::FftOverlapSave {
-                    return self.generate_pure_fft(ki, noise, win);
+                let resolved = self.backend.resolve(kw, kh);
+                if matches!(
+                    resolved,
+                    ConvBackend::FftOverlapSave | ConvBackend::FftComplexSerial
+                ) {
+                    return self.generate_pure_fft(ki, resolved, noise, win);
                 }
             }
         }
@@ -379,11 +383,13 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// The homogeneous fast path: the whole window is kernel `ki` at
     /// weight 1, so `f(n) = (w̃_ki ⊛ X)(n)` exactly — generated like the
     /// homogeneous convolution generator from a kernel-specific noise
-    /// window through the shared overlap-save FFT engine, with the budget
-    /// polled per tile.
+    /// window through the shared overlap-save engine `resolved` names
+    /// (the parallel real-input pipeline, or the full-complex serial
+    /// baseline), with the budget polled per tile.
     fn generate_pure_fft(
         &self,
         ki: usize,
+        resolved: ConvBackend,
         noise: &NoiseField,
         win: Window,
     ) -> Result<Grid2<f64>, RrsError> {
@@ -393,7 +399,13 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         let Window { x0, y0, nx, ny } = win;
         let ww = nx + kw - 1;
         let wh = ny + kh - 1;
-        let scratch = plan_tiles(nx, ny, kw, kh).scratch_samples();
+        let shape = plan_tiles(nx, ny, kw, kh);
+        let scratch = if resolved == ConvBackend::FftComplexSerial {
+            shape.scratch_samples()
+        } else {
+            let w = effective_workers(shape, nx, ny, kw, kh, self.workers);
+            shape.scratch_samples_real(w)
+        };
         let required = (ww as u128 * wh as u128 + nx as u128 * ny as u128 + scratch) * 8;
         self.budget.admit("inhomogeneous generation", required).inspect_err(|_| {
             self.obs.add_counter(stage::BUDGET_REJECT, 1);
@@ -403,18 +415,33 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             noise.window(x0 - (ox + kw as i64 - 1), y0 - (oy + kh as i64 - 1), ww, wh);
         self.obs.finish(span);
         self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
-        let out = self.fft.convolve(
-            ki,
-            kernel,
-            &noise_win,
-            ww,
-            wh,
-            nx,
-            ny,
-            self.workers,
-            &self.obs,
-            &self.budget,
-        )?;
+        let out = if resolved == ConvBackend::FftComplexSerial {
+            self.fft.convolve(
+                ki,
+                kernel,
+                &noise_win,
+                ww,
+                wh,
+                nx,
+                ny,
+                self.workers,
+                &self.obs,
+                &self.budget,
+            )?
+        } else {
+            self.fft.convolve_rfft(
+                ki,
+                kernel,
+                &noise_win,
+                ww,
+                wh,
+                nx,
+                ny,
+                self.workers,
+                &self.obs,
+                &self.budget,
+            )?
+        };
         let mut shard = self.obs.shard();
         shard.add(stage::INHOMO_PURE_SAMPLES, (nx * ny) as u64);
         shard.add(stage::INHOMO_KERNEL_EVALS, (nx * ny) as u64);

@@ -70,6 +70,13 @@ pub mod stage {
     pub const CONV_BACKEND_DIRECT: &str = "conv/backend_direct";
     /// Counter: overlap-save tiles processed by the FFT backend.
     pub const CONV_FFT_TILES: &str = "conv/fft_tiles";
+    /// Counter: overlap-save tiles dispatched across multiple workers by
+    /// the real-input FFT engine (subset of [`CONV_FFT_TILES`]).
+    pub const CONV_TILES_PARALLEL: &str = "conv/tiles_parallel";
+    /// Counter: 2-D FFT plan requests served from a shared plan cache.
+    pub const FFT_PLAN_HIT: &str = "fft/plan_hit";
+    /// Counter: 2-D FFT plan requests that had to build a new plan.
+    pub const FFT_PLAN_MISS: &str = "fft/plan_miss";
     /// Checkpoint serialisation + write.
     pub const CHECKPOINT_WRITE: &str = "checkpoint/write";
     /// Checkpoint durability barrier (fsync).

@@ -52,11 +52,21 @@ pub enum ConvBackend {
     /// across releases, fastest for small kernels. The default.
     #[default]
     Direct,
-    /// Frequency-domain overlap-save tiling (`O(N log N)`): equal to
-    /// `Direct` within floating-point roundoff (≤ 1e-9 relative — the
-    /// property suite enforces it), dramatically faster for large
-    /// kernels.
+    /// Frequency-domain overlap-save tiling (`O(N log N)`) through the
+    /// **real-input** pipeline: half-size-trick transforms on packed
+    /// Hermitian spectra, tiles dispatched across the generator's
+    /// workers with per-worker scratch arenas. Equal to `Direct` within
+    /// floating-point roundoff (≤ 1e-9 relative — the property suite
+    /// enforces it), bit-identical across worker counts, and dramatically
+    /// faster than both `Direct` and [`ConvBackend::FftComplexSerial`]
+    /// for large kernels.
     FftOverlapSave,
+    /// The previous frequency-domain engine: full complex transforms,
+    /// serial tile loop. Kept reachable as the bit-for-bit measurable
+    /// baseline the real-input pipeline is benchmarked and
+    /// property-tested against; prefer [`ConvBackend::FftOverlapSave`]
+    /// everywhere else.
+    FftComplexSerial,
     /// Picks per request: `FftOverlapSave` when the kernel area exceeds
     /// the measured crossover
     /// ([`AUTO_CROSSOVER_KERNEL_AREA`](self::AUTO_CROSSOVER_KERNEL_AREA)
@@ -242,10 +252,20 @@ impl ConvolutionGenerator {
         let wh = win.ny + kh - 1;
         // Noise window plus output field, in u128 so the estimate itself
         // cannot overflow even for windows far beyond addressable memory;
-        // the FFT backend additionally admits its complex tile workspace.
+        // the FFT backends additionally admit their tile workspace (the
+        // real-input engine's per-worker arenas included, using the same
+        // deterministic worker clamp the engine applies).
         let mut samples = ww as u128 * wh as u128 + win.nx as u128 * win.ny as u128;
-        if self.backend.resolve(kw, kh) == ConvBackend::FftOverlapSave {
-            samples += fftconv::plan_tiles(win.nx, win.ny, kw, kh).scratch_samples();
+        match self.backend.resolve(kw, kh) {
+            ConvBackend::FftOverlapSave => {
+                let shape = fftconv::plan_tiles(win.nx, win.ny, kw, kh);
+                let w = fftconv::effective_workers(shape, win.nx, win.ny, kw, kh, self.workers);
+                samples += shape.scratch_samples_real(w);
+            }
+            ConvBackend::FftComplexSerial => {
+                samples += fftconv::plan_tiles(win.nx, win.ny, kw, kh).scratch_samples();
+            }
+            _ => {}
         }
         self.admit("convolution generation", samples)?;
         let span = self.obs.start(stage::WINDOW_MATERIALISE);
@@ -254,7 +274,7 @@ impl ConvolutionGenerator {
         let mut local = Vec::new();
         let mut guard = self.scratch.try_lock().ok();
         let buf: &mut Vec<f64> = guard.as_deref_mut().unwrap_or(&mut local);
-        noise.window_into(wx0, wy0, ww, wh, buf);
+        noise.try_window_into(wx0, wy0, ww, wh, buf)?;
         self.obs.finish(span);
         self.dispatch(buf, ww, wh, win.nx, win.ny)
     }
@@ -313,6 +333,21 @@ impl ConvolutionGenerator {
         let (kw, kh) = self.kernel.extent();
         match self.backend.resolve(kw, kh) {
             ConvBackend::FftOverlapSave => {
+                self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+                self.fft.convolve_rfft(
+                    0,
+                    &self.kernel,
+                    win,
+                    ww,
+                    wh,
+                    nx,
+                    ny,
+                    self.workers,
+                    &self.obs,
+                    &self.budget,
+                )
+            }
+            ConvBackend::FftComplexSerial => {
                 self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
                 self.fft.convolve(
                     0,

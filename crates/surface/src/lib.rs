@@ -37,7 +37,7 @@ pub mod internal {
     //! Workspace-internal seam: the overlap-save engine, shared with
     //! `rrs-inhomo` so pure-region windows dispatch to the same FFT path
     //! as the homogeneous generator. Not a stable public API.
-    pub use crate::fftconv::{plan_tiles, FftEngine, TileShape};
+    pub use crate::fftconv::{effective_workers, plan_tiles, FftEngine, TileShape};
 }
 pub use direct::DirectDftGenerator;
 pub use kernel::{ConvolutionKernel, KernelSizing};

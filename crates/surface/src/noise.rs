@@ -13,6 +13,7 @@
 //! finalizer chain, and two output words drive one Box–Muller cosine
 //! branch (the paper's eqn 18).
 
+use rrs_error::RrsError;
 use rrs_num::Complex64;
 use rrs_rng::{RandomSource, SplitMix64};
 
@@ -61,14 +62,41 @@ impl NoiseField {
     /// and refilled, reusing its allocation. Tile loops that materialise
     /// hundreds of windows per run keep one scratch vector alive instead
     /// of reallocating per tile.
+    ///
+    /// # Panics
+    /// Panics if `w · h` overflows `usize`. Fallible callers use
+    /// [`NoiseField::try_window_into`].
     pub fn window_into(&self, x0: i64, y0: i64, w: usize, h: usize, out: &mut Vec<f64>) {
+        self.try_window_into(x0, y0, w, h, out).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`NoiseField::window_into`]: a pathological window whose
+    /// sample count `w · h` overflows `usize` is rejected with
+    /// [`RrsError::InvalidParam`] instead of silently wrapping the
+    /// reserve (which would reserve a tiny buffer and then grow it
+    /// unbounded through the push loop).
+    pub fn try_window_into(
+        &self,
+        x0: i64,
+        y0: i64,
+        w: usize,
+        h: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), RrsError> {
+        let samples = w.checked_mul(h).ok_or_else(|| {
+            RrsError::invalid_param(
+                "window",
+                format!("window {w}x{h} overflows the addressable sample count"),
+            )
+        })?;
         out.clear();
-        out.reserve(w * h);
+        out.reserve(samples);
         for iy in 0..h as i64 {
             for ix in 0..w as i64 {
                 out.push(self.at(x0 + ix, y0 + iy));
             }
         }
+        Ok(())
     }
 
     /// A complex deviate with independent `N(0, 1/2)` parts (unit second
@@ -128,6 +156,27 @@ mod tests {
         f.window_into(7, -2, 4, 3, &mut buf); // smaller: no regrow
         assert_eq!(buf, f.window(7, -2, 4, 3));
         assert_eq!(buf.as_ptr(), ptr, "refill within capacity must not reallocate");
+    }
+
+    #[test]
+    fn overflowing_window_is_rejected_not_wrapped() {
+        let f = NoiseField::new(1);
+        let mut buf = Vec::new();
+        // w·h wraps usize; the unchecked multiply used to reserve a tiny
+        // buffer and start pushing.
+        let err = f.try_window_into(0, 0, usize::MAX, 2, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::InvalidParam);
+        assert!(err.to_string().contains("overflows"), "{err}");
+        assert!(buf.is_empty(), "nothing may be materialised on rejection");
+        // The fallible path matches the panicking one on sane windows.
+        f.try_window_into(-3, 4, 5, 4, &mut buf).unwrap();
+        assert_eq!(buf, f.window(-3, 4, 5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflowing_window_panics_on_infallible_path() {
+        NoiseField::new(1).window_into(0, 0, usize::MAX, 2, &mut Vec::new());
     }
 
     #[test]

@@ -11,9 +11,11 @@ use crate::conv::ConvolutionGenerator;
 use crate::kernel::KernelSizing;
 use crate::noise::NoiseField;
 use rrs_error::RrsError;
+use rrs_fft::FftPlanCache;
 use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::Spectrum;
+use std::sync::Arc;
 
 /// Generates an unbounded-in-`x` surface strip by strip.
 pub struct StripGenerator {
@@ -77,10 +79,11 @@ impl StripGenerator {
     }
 
     /// Selects the convolution engine for every strip — see
-    /// [`ConvBackend`](crate::ConvBackend). Strips from
-    /// [`ConvBackend::FftOverlapSave`](crate::ConvBackend) tile as
-    /// seamlessly as direct ones (the backend changes arithmetic order,
-    /// not the window geometry), within floating-point roundoff.
+    /// [`ConvBackend`](crate::ConvBackend). Strips from the FFT engines
+    /// ([`ConvBackend::FftOverlapSave`](crate::ConvBackend)'s parallel
+    /// real-input tiles included) tile as seamlessly as direct ones (the
+    /// backend changes arithmetic order, not the window geometry), within
+    /// floating-point roundoff.
     pub fn with_backend(mut self, backend: crate::ConvBackend) -> Self {
         self.gen = self.gen.with_backend(backend);
         self
@@ -89,6 +92,21 @@ impl StripGenerator {
     /// The backend policy of the inner generator.
     pub fn backend(&self) -> crate::ConvBackend {
         self.gen.backend()
+    }
+
+    /// Shares an [`FftPlanCache`] with the inner generator, so several
+    /// streams (or a stream and a plain generator) transforming the same
+    /// overlap-save tile shapes reuse one set of twiddle tables and
+    /// real-input plans instead of rebuilding them per stream.
+    pub fn with_plan_cache(mut self, plans: Arc<FftPlanCache>) -> Self {
+        self.gen = self.gen.with_plan_cache(plans);
+        self
+    }
+
+    /// The FFT plan cache backing the inner generator's overlap-save
+    /// engines.
+    pub fn plan_cache(&self) -> &Arc<FftPlanCache> {
+        self.gen.plan_cache()
     }
 
     /// Attaches a resource [`Budget`](rrs_error::Budget) to the inner

@@ -1,11 +1,14 @@
 //! Backend equivalence and bit-identity regression suite.
 //!
-//! Two contracts pin the convolution backends:
+//! Three contracts pin the convolution backends:
 //!
-//! * `ConvBackend::FftOverlapSave` computes the *same sum* as
-//!   `ConvBackend::Direct` in the frequency domain — equal within 1e-9
-//!   relative error across spectrum families, anisotropic correlation
-//!   lengths, truncated and full kernels, and strip-tile seams;
+//! * `ConvBackend::FftOverlapSave` (the parallel real-input pipeline) and
+//!   `ConvBackend::FftComplexSerial` (the preserved complex baseline)
+//!   compute the *same sum* as `ConvBackend::Direct` in the frequency
+//!   domain — equal within 1e-9 relative error across spectrum families,
+//!   anisotropic correlation lengths, truncated and full kernels,
+//!   worker counts, and strip-tile seams — and the real-input engine is
+//!   bit-identical across worker counts;
 //! * `ConvBackend::Direct` is the reference: its output is bit-identical
 //!   to the seed release (FNV-1a hashes of the f64 bit patterns captured
 //!   from the pre-backend build), so every regression seed and
@@ -199,6 +202,174 @@ fn correlate_window_api_matches_generate() {
     assert_eq!(err.kind(), ErrorKind::InvalidParam);
 }
 
+// --- Real-input engine: ≡ complex-serial ≡ Direct, across worker counts. ---
+
+#[test]
+fn real_fft_matches_complex_serial_and_direct_across_worker_counts() {
+    // Three engines, one sum: the parallel real-input pipeline
+    // (FftOverlapSave), the preserved complex serial engine
+    // (FftComplexSerial), and the Direct reference must agree within
+    // 1e-9 for every worker count — including whatever the host actually
+    // has — on an anisotropic truncated kernel with an offset window.
+    let s = Gaussian::new(SurfaceParams::new(1.1, 9.0, 4.0));
+    let k = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-4);
+    let noise = NoiseField::new(271828);
+    let win = Window::new(-13, 7, 96, 60);
+    let direct = ConvolutionGenerator::from_kernel(k.clone())
+        .with_backend(ConvBackend::Direct)
+        .generate(&noise, win);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for workers in [1, 2, host] {
+        let rfft = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(workers)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .generate(&noise, win);
+        let serial = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(workers)
+            .with_backend(ConvBackend::FftComplexSerial)
+            .generate(&noise, win);
+        assert_close(&direct, &rfft, 1e-9, &format!("rfft vs direct, workers={workers}"));
+        assert_close(&direct, &serial, 1e-9, &format!("complex vs direct, workers={workers}"));
+    }
+}
+
+#[test]
+fn real_fft_is_bit_identical_across_worker_counts() {
+    // The parallel branch changes who computes each tile, never the
+    // arithmetic inside it: outputs are equal to the bit, not just 1e-9.
+    let s = Exponential::new(SurfaceParams::new(0.9, 5.0, 8.0));
+    let k = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
+    let noise = NoiseField::new(1618);
+    let win = Window::new(3, -9, 180, 120);
+    let reference = ConvolutionGenerator::from_kernel(k.clone())
+        .with_workers(1)
+        .with_backend(ConvBackend::FftOverlapSave)
+        .generate(&noise, win);
+    for workers in [2, 3, 7] {
+        let g = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(workers)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .generate(&noise, win);
+        assert_eq!(hash_grid(&reference), hash_grid(&g), "workers={workers}");
+        assert_eq!(reference, g, "workers={workers}");
+    }
+}
+
+#[test]
+fn parallel_real_fft_strips_tile_seamlessly() {
+    // Strip-seam contract on the parallel real-input engine specifically:
+    // tiles dispatched across workers must reproduce the Direct
+    // whole-surface values at every seam.
+    let s = Gaussian::new(SurfaceParams::new(1.0, 6.0, 9.0));
+    let k = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
+    let seed = 31415;
+    let mut sg = StripGenerator::from_generator(
+        ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(3)
+            .with_backend(ConvBackend::FftOverlapSave),
+        36,
+        seed,
+    );
+    let a = sg.next_strip(40);
+    let b = sg.next_strip(40);
+    let whole = ConvolutionGenerator::from_kernel(k)
+        .with_backend(ConvBackend::Direct)
+        .generate(&NoiseField::new(seed), Window::sized(80, 36));
+    let scale = whole.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max);
+    for iy in 0..36 {
+        for ix in 0..40 {
+            let ea = (*whole.get(ix, iy) - *a.get(ix, iy)).abs();
+            let eb = (*whole.get(ix + 40, iy) - *b.get(ix, iy)).abs();
+            assert!(ea <= 1e-9 * scale, "strip A ({ix},{iy}): {ea}");
+            assert!(eb <= 1e-9 * scale, "strip B ({ix},{iy}): {eb}");
+        }
+    }
+}
+
+#[test]
+fn plan_cache_and_parallel_tiles_are_observed() {
+    use rrs::obs::stage;
+    use rrs_surface::internal::{effective_workers, plan_tiles};
+    let s = Gaussian::new(SurfaceParams::isotropic(1.0, 5.0));
+    let k = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
+    let (kw, kh) = k.extent();
+    let win = Window::sized(220, 160);
+    // The case must actually tile and actually parallelise, or the
+    // counter assertions below test nothing.
+    let shape = plan_tiles(win.nx, win.ny, kw, kh);
+    let (tx, ty) = shape.tiles(win.nx, win.ny, kw, kh);
+    let total_tiles = (tx * ty) as u64;
+    assert!(total_tiles > 1, "geometry drifted: {tx}x{ty} tiles");
+    assert!(effective_workers(shape, win.nx, win.ny, kw, kh, 4) > 1);
+
+    let rec = Recorder::enabled();
+    let gen = ConvolutionGenerator::from_kernel(k)
+        .with_workers(4)
+        .with_backend(ConvBackend::FftOverlapSave)
+        .with_recorder(rec.clone());
+    let noise = NoiseField::new(55);
+    let first = gen.generate(&noise, win);
+    let after_first = rec.report();
+    // First request: every plan is a miss (tile transform + kernel
+    // spectrum share the same shape, so at least one miss; zero hits
+    // would need a pre-warmed cache).
+    let misses = after_first.counter(stage::FFT_PLAN_MISS);
+    assert!(misses >= 1, "first request must build at least one plan");
+    assert_eq!(after_first.counter(stage::CONV_TILES_PARALLEL), total_tiles);
+    assert_eq!(after_first.counter(stage::CONV_FFT_TILES), total_tiles);
+
+    // Second identical request: plans come from the cache — misses stay
+    // where they were, hits move.
+    let second = gen.generate(&noise, win);
+    let after_second = rec.report();
+    assert_eq!(
+        after_second.counter(stage::FFT_PLAN_MISS),
+        misses,
+        "a repeated shape must not rebuild plans"
+    );
+    assert!(after_second.counter(stage::FFT_PLAN_HIT) >= 1);
+    assert_eq!(first, second, "plan caching must not change output");
+}
+
+#[test]
+fn shared_plan_cache_is_warm_across_generators() {
+    use rrs::obs::stage;
+    use rrs_fft::FftPlanCache;
+    use std::sync::Arc;
+    let s = Gaussian::new(SurfaceParams::isotropic(1.0, 6.0));
+    let k = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
+    let plans = Arc::new(FftPlanCache::new());
+    let noise = NoiseField::new(808);
+    let win = Window::sized(64, 48);
+
+    // Warm the cache through a plain generator…
+    ConvolutionGenerator::from_kernel(k.clone())
+        .with_backend(ConvBackend::FftOverlapSave)
+        .with_plan_cache(plans.clone())
+        .generate(&noise, win);
+
+    // …then a strip generator sharing the cache and transforming the same
+    // tile shape must hit without a single new plan build.
+    let rec = Recorder::enabled();
+    let mut sg = StripGenerator::from_generator(
+        ConvolutionGenerator::from_kernel(k.clone())
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_plan_cache(plans)
+            .with_recorder(rec.clone()),
+        win.ny,
+        808,
+    );
+    let strip = sg.next_strip(win.nx);
+    let report = rec.report();
+    assert!(report.counter(stage::FFT_PLAN_HIT) >= 1, "shared cache must serve hits");
+    assert_eq!(report.counter(stage::FFT_PLAN_MISS), 0, "no plan may be rebuilt");
+    // Same surface either way.
+    let direct = ConvolutionGenerator::from_kernel(k)
+        .with_backend(ConvBackend::Direct)
+        .generate(&NoiseField::new(808), Window::sized(win.nx, win.ny));
+    assert_close(&direct, &strip, 1e-9, "shared-cache strip");
+}
+
 // --- Property suite: FFT ≡ Direct across families / anisotropy / truncation. ---
 
 struct EquivCase {
@@ -254,18 +425,30 @@ rrs_check::props! {
             .with_workers(workers)
             .with_backend(ConvBackend::Direct)
             .generate(&noise, win);
-        let fft = ConvolutionGenerator::from_kernel(kernel)
+        let fft = ConvolutionGenerator::from_kernel(kernel.clone())
             .with_workers(workers)
             .with_backend(ConvBackend::FftOverlapSave)
             .generate(&noise, win);
+        let serial = ConvolutionGenerator::from_kernel(kernel)
+            .with_workers(workers)
+            .with_backend(ConvBackend::FftComplexSerial)
+            .generate(&noise, win);
         let scale = direct.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-30);
-        for (i, (a, b)) in direct.as_slice().iter().zip(fft.as_slice()).enumerate() {
-            let rel = (a - b).abs() / scale;
-            assert!(
-                rel <= 1e-9,
-                "family {} {}x{} trunc {:?} sample {i}: rel err {rel:e}",
-                case.family, case.nx, case.ny, case.truncate
-            );
+        for (i, ((a, b), c)) in direct
+            .as_slice()
+            .iter()
+            .zip(fft.as_slice())
+            .zip(serial.as_slice())
+            .enumerate()
+        {
+            for (engine, v) in [("rfft", b), ("complex", c)] {
+                let rel = (a - v).abs() / scale;
+                assert!(
+                    rel <= 1e-9,
+                    "{engine}: family {} {}x{} trunc {:?} sample {i}: rel err {rel:e}",
+                    case.family, case.nx, case.ny, case.truncate
+                );
+            }
         }
     }
 
