@@ -42,6 +42,14 @@ echo "== runtime budgets: cancellation, deadlines and admission control =="
 # allocation; no-budget runs are bit-identical to budgeted-idle runs.
 cargo test -q --test runtime_budgets --locked --offline
 
+echo "== chaos torture: injected faults must surface typed or degrade bit-identical =="
+# Every FaultSite x {panic,error,cancel,deadline} over the whole pipeline:
+# zero escaped panics, every failure carries the matching ErrorKind, and
+# killing both FFT rungs degrades to the Direct backend with output
+# FNV-1a-hash-identical to a clean Direct run (seeded schedules replay
+# bit-for-bit) — see tests/chaos_torture.rs.
+cargo test -q --test chaos_torture --locked --offline
+
 echo "== guard: no internal calls to deprecated APIs =="
 # The positional generate_window forms are deprecated wrappers kept for
 # downstream compatibility; in-repo code must use the Window forms
@@ -55,7 +63,8 @@ cargo run --release --locked --offline -p rrs-bench --bin bench_obs
 
 echo "== runtime budget overhead gate: the no-budget path must stay free =="
 # Exits 1 if the budgeted primitive with Budget::unlimited is measurably
-# slower than the pre-budget primitive (min-of-reps ratio >= 1.5x) —
+# slower than the pre-budget primitive (min-of-reps ratio >= 1.5x), or if
+# a disabled chaos injector costs >= 1.05x the budgeted primitive —
 # see bench_runtime; armed-budget overhead is reported for information.
 cargo run --release --locked --offline -p rrs-bench --bin bench_runtime
 

@@ -13,6 +13,11 @@
 //! into the no-budget path breaks CI rather than silently taxing every
 //! caller.
 //!
+//! The chaos fault-injection harness rides the same contract: a disabled
+//! [`rrs_chaos::ChaosInjector`] is one pointer test per band slice, so
+//! the `chaos_disabled` variant is gated at < 1.05× the budgeted
+//! primitive it wraps.
+//!
 //! As with `bench_obs`, the guard compares min-of-reps and allows a
 //! generous 1.5× ratio: the real figure should be ~1.0. Armed-budget
 //! overhead is reported for information but not gated — at 8 polls per
@@ -75,6 +80,17 @@ fn main() {
         black_box(buf[0])
     });
 
+    // Chaos-off path: a disabled injector is one pointer test per band
+    // slice, so this must track `budgeted_unlimited` within noise.
+    let chaos = rrs_chaos::ChaosInjector::disabled();
+    h.bench_elems("runtime/chaos_disabled", (ROW * ROWS) as u64, || {
+        rrs_par::try_par_row_chunks_mut_chaos(
+            &mut buf, ROW, WORKERS, &obs, &unlimited, &chaos, fill,
+        )
+        .unwrap();
+        black_box(buf[0])
+    });
+
     // --- Full generator, informational. ---
     let s = Gaussian::new(SurfaceParams::isotropic(1.0, 8.0));
     let kernel = ConvolutionKernel::build(&s, KernelSizing::default()).truncated(1e-3);
@@ -116,15 +132,24 @@ fn main() {
     let base = min_of("par_baseline");
     let unlimited_ratio = min_of("budgeted_unlimited") / base;
     let armed_ratio = min_of("budgeted_armed") / base;
+    let chaos_ratio = min_of("chaos_disabled") / min_of("budgeted_unlimited");
     let conv_ratio = min_of("conv_armed_budget") / min_of("conv_no_budget");
     println!("budgeted-unlimited/baseline (min-of-reps): {unlimited_ratio:.3}x  (gate: < 1.5x)");
     println!("budgeted-armed/baseline     (min-of-reps): {armed_ratio:.3}x  (informational)");
+    println!("chaos-off/budgeted          (min-of-reps): {chaos_ratio:.3}x  (gate: < 1.05x)");
     println!("conv armed/no-budget        (min-of-reps): {conv_ratio:.3}x  (informational)");
 
     if unlimited_ratio >= 1.5 {
         eprintln!(
             "FAIL: the unlimited budget costs {unlimited_ratio:.3}x the pre-budget \
              primitive — the no-budget path is no longer free"
+        );
+        std::process::exit(1);
+    }
+    if chaos_ratio >= 1.05 {
+        eprintln!(
+            "FAIL: the disabled chaos injector costs {chaos_ratio:.3}x the budgeted \
+             primitive — fault-site registration is no longer a single branch"
         );
         std::process::exit(1);
     }

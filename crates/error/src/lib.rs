@@ -70,6 +70,8 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// Admission control rejected the request's memory footprint.
     BudgetExceeded,
+    /// A deterministic chaos schedule injected a fault at this site.
+    FaultInjected,
 }
 
 /// The workspace-wide error type.
@@ -139,6 +141,15 @@ pub enum RrsError {
         /// The configured ceiling.
         max_bytes: usize,
     },
+    /// A deterministic chaos schedule (`rrs-chaos`) injected a fault at
+    /// a numbered pipeline site. Only ever produced under an explicitly
+    /// armed `FaultSchedule`; production runs never see it.
+    FaultInjected {
+        /// Stable name of the fault site (e.g. `"fft_tile"`).
+        site: &'static str,
+        /// Zero-based visit index at which the schedule fired.
+        index: u64,
+    },
     /// A lower-level error wrapped with a higher-level context line.
     Context {
         /// The higher-level operation that failed.
@@ -190,6 +201,12 @@ impl RrsError {
         Self::WorkerPanicked { band, payload }
     }
 
+    /// Builds an [`RrsError::FaultInjected`] naming the chaos site and
+    /// the visit index at which the schedule fired.
+    pub fn fault_injected(site: &'static str, index: u64) -> Self {
+        Self::FaultInjected { site, index }
+    }
+
     /// The error's kind, looking through [`RrsError::Context`] wrappers.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -202,6 +219,7 @@ impl RrsError {
             Self::Cancelled => ErrorKind::Cancelled,
             Self::DeadlineExceeded => ErrorKind::DeadlineExceeded,
             Self::BudgetExceeded { .. } => ErrorKind::BudgetExceeded,
+            Self::FaultInjected { .. } => ErrorKind::FaultInjected,
             Self::Context { source, .. } => source.kind(),
         }
     }
@@ -241,6 +259,9 @@ impl fmt::Display for RrsError {
                 f,
                 "{what} requires {required_bytes} bytes, exceeding the byte budget of {max_bytes}"
             ),
+            Self::FaultInjected { site, index } => {
+                write!(f, "injected fault at {site}[{index}]")
+            }
             Self::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -370,6 +391,16 @@ mod tests {
         let s: Box<dyn std::any::Any + Send> = Box::new(17u32);
         let e = RrsError::worker_panicked(1, s.as_ref());
         assert!(e.to_string().contains("non-string"));
+    }
+
+    #[test]
+    fn fault_injected_names_site_and_index() {
+        let e = RrsError::fault_injected("fft_tile", 3);
+        assert_eq!(e.to_string(), "injected fault at fft_tile[3]");
+        assert_eq!(e.kind(), ErrorKind::FaultInjected);
+        let wrapped = e.with_context("convolving window");
+        assert_eq!(wrapped.kind(), ErrorKind::FaultInjected);
+        assert!(wrapped.to_string().contains("fft_tile[3]"));
     }
 
     #[test]

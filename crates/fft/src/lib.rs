@@ -39,7 +39,8 @@ use rrs_num::Complex64;
 use rrs_obs::{stage, ObsSink, Recorder};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;
@@ -124,8 +125,17 @@ impl Planner {
     }
 
     /// Fetches (or creates) the FFT of length `len`.
+    ///
+    /// A poisoned cache lock (a panic while holding it) is recovered by
+    /// rebuilding from empty: plans are immutable once built, so the
+    /// worst case is re-planning, never a wrong transform.
     pub fn plan(&self, len: usize) -> Arc<Fft> {
-        let mut cache = self.cache.lock().expect("planner lock poisoned");
+        let mut cache = self.cache.lock().unwrap_or_else(|poisoned| {
+            self.cache.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        });
         cache.entry(len).or_insert_with(|| Arc::new(Fft::new(len))).clone()
     }
 }
@@ -160,12 +170,47 @@ enum CachedPlan {
 #[derive(Default)]
 pub struct FftPlanCache {
     cache: Mutex<HashMap<(PlanKind, usize, usize, usize), CachedPlan>>,
+    /// Poison recoveries not yet flushed into an observed lookup's
+    /// recorder (the cache itself has no recorder handle).
+    poisoned: AtomicU64,
 }
 
 impl FftPlanCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Locks the cache, recovering from poisoning by rebuilding from
+    /// empty: a panic while holding the lock (an unwinding worker, an
+    /// injected chaos fault) can at worst have left a half-inserted
+    /// entry, and since plans are immutable and rebuildable, clearing
+    /// trades a re-plan for never propagating the poison. Each recovery
+    /// is counted and flushed to [`stage::FFT_PLAN_POISONED`] by the
+    /// next observed lookup.
+    fn lock_recovering(&self) -> MutexGuard<'_, HashMap<(PlanKind, usize, usize, usize), CachedPlan>> {
+        self.cache.lock().unwrap_or_else(|poisoned| {
+            // Un-poison first: the rebuild makes the map coherent again,
+            // and without this every later lock would re-clear it.
+            self.cache.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            guard
+        })
+    }
+
+    /// Flushes pending poison-recovery counts into `obs`. A disabled
+    /// recorder leaves them pending so a later observed lookup still
+    /// reports them.
+    fn flush_poisoned(&self, obs: &Recorder) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let n = self.poisoned.swap(0, Ordering::Relaxed);
+        if n > 0 {
+            obs.add_counter(stage::FFT_PLAN_POISONED, n);
+        }
     }
 
     /// Fetches (or builds and caches) the complex `nx × ny` transform
@@ -184,7 +229,8 @@ impl FftPlanCache {
         obs: &Recorder,
     ) -> Arc<Fft2d> {
         let workers = workers.max(1);
-        let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+        let mut cache = self.lock_recovering();
+        self.flush_poisoned(obs);
         match cache.entry((PlanKind::Complex, nx, ny, workers)) {
             Entry::Occupied(slot) => {
                 obs.add_counter(stage::FFT_PLAN_HIT, 1);
@@ -218,7 +264,8 @@ impl FftPlanCache {
         obs: &Recorder,
     ) -> Arc<RealFft2d> {
         let workers = workers.max(1);
-        let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+        let mut cache = self.lock_recovering();
+        self.flush_poisoned(obs);
         match cache.entry((PlanKind::Real, nx, ny, workers)) {
             Entry::Occupied(slot) => {
                 obs.add_counter(stage::FFT_PLAN_HIT, 1);
@@ -238,7 +285,14 @@ impl FftPlanCache {
 
     /// Number of distinct plans currently cached.
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("plan cache lock poisoned").len()
+        self.lock_recovering().len()
+    }
+
+    /// Poison recoveries taken so far and not yet flushed into an
+    /// observed lookup. Test/diagnostic hook; observed paths drain this
+    /// into [`stage::FFT_PLAN_POISONED`].
+    pub fn pending_poison_recoveries(&self) -> u64 {
+        self.poisoned.load(Ordering::Relaxed)
     }
 
     /// Whether the cache holds no plans yet.
@@ -492,5 +546,58 @@ mod tests {
         assert_eq!(buf[0], Complex64::new(3.0, -4.0));
         fft.process(&mut buf, Direction::Inverse);
         assert_eq!(buf[0], Complex64::new(3.0, -4.0));
+    }
+
+    /// Poisons `cache`'s mutex by panicking a thread that holds the lock.
+    fn poison(cache: &FftPlanCache) {
+        let r = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.cache.lock().unwrap();
+                panic!("poisoning the plan cache on purpose");
+            })
+            .join()
+        });
+        assert!(r.is_err(), "the poisoning thread must have panicked");
+    }
+
+    #[test]
+    fn poisoned_plan_cache_recovers_by_rebuilding() {
+        let cache = FftPlanCache::new();
+        cache.plan(8, 4, 1);
+        assert_eq!(cache.len(), 1);
+        poison(&cache);
+        // The next observed lookup recovers: the half-mutated map is
+        // discarded, the recovery is flushed to the recorder, and the
+        // lookup re-plans from empty.
+        let rec = Recorder::enabled();
+        let a = cache.plan_observed(8, 4, 1, &rec);
+        let report = rec.report();
+        assert_eq!(report.counter(stage::FFT_PLAN_POISONED), 1);
+        assert_eq!(report.counter(stage::FFT_PLAN_MISS), 1, "cleared cache re-plans");
+        assert_eq!(cache.pending_poison_recoveries(), 0, "recovery was flushed");
+        assert_eq!(cache.len(), 1);
+        // Rebuilt plans transform identically to pre-poison ones.
+        let mut rng = Xoshiro256pp::seed_from_u64(27);
+        let x: Vec<Complex64> =
+            (0..8 * 4).map(|_| Complex64::new(rng.next_f64(), rng.next_f64())).collect();
+        let mut got = x.clone();
+        a.process(&mut got, Direction::Forward);
+        let mut want = x;
+        Fft2d::with_workers(8, 4, 1).process(&mut want, Direction::Forward);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unobserved_poison_recovery_stays_pending_until_flushed() {
+        let cache = FftPlanCache::new();
+        poison(&cache);
+        // An unobserved lookup recovers but has no recorder to flush to.
+        cache.plan(4, 4, 1);
+        assert_eq!(cache.pending_poison_recoveries(), 1);
+        let rec = Recorder::enabled();
+        cache.plan_observed(4, 4, 1, &rec);
+        assert_eq!(rec.report().counter(stage::FFT_PLAN_POISONED), 1);
+        assert_eq!(rec.report().counter(stage::FFT_PLAN_HIT), 1, "plan survived from recovery");
+        assert_eq!(cache.pending_poison_recoveries(), 0);
     }
 }

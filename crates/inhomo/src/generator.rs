@@ -12,14 +12,23 @@
 //! one kernel is active (the bulk of the surface) cost exactly one
 //! homogeneous-kernel dot product.
 
-use rrs_error::{Budget, RrsError};
+use rrs_chaos::ChaosInjector;
+use rrs_error::{Budget, ErrorKind, RrsError};
 use rrs_fft::FftPlanCache;
 use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::SpectrumModel;
 use rrs_surface::internal::{effective_workers, plan_tiles, FftEngine};
 use rrs_surface::{ConvBackend, ConvolutionKernel, KernelSizing, NoiseField};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Failures that warrant retrying the request on a simpler evaluator:
+/// worker panics and injected faults. Budget trips, shape errors and I/O
+/// failures would recur identically on every rung, so they propagate.
+fn is_degradable(e: &RrsError) -> bool {
+    matches!(e.kind(), ErrorKind::WorkerPanicked | ErrorKind::FaultInjected)
+}
 
 /// Assigns per-sample kernel weights; implemented by
 /// [`crate::PlateLayout`] and [`crate::PointLayout`].
@@ -56,6 +65,7 @@ pub struct InhomogeneousGenerator<M> {
     budget: Budget,
     backend: ConvBackend,
     fft: FftEngine,
+    chaos: ChaosInjector,
     // Precomputed reaches for noise-window sizing.
     reach_left: i64,
     reach_right: i64,
@@ -141,6 +151,7 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             budget: Budget::unlimited(),
             backend: ConvBackend::default(),
             fft: FftEngine::new(Arc::new(FftPlanCache::new())),
+            chaos: ChaosInjector::disabled(),
             reach_left,
             reach_right,
             reach_down,
@@ -181,6 +192,20 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// The attached budget ([`Budget::unlimited`] by default).
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Attaches a [`ChaosInjector`]: fault sites in the blending loop and
+    /// the pure-window FFT path consult its schedule. Disabled by default,
+    /// under which generation is bit-identical to the un-instrumented
+    /// path.
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// The attached chaos injector (disabled by default).
+    pub fn chaos(&self) -> &ChaosInjector {
+        &self.chaos
     }
 
     /// Selects the convolution backend for **pure** windows — requests
@@ -253,7 +278,17 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                     resolved,
                     ConvBackend::FftOverlapSave | ConvBackend::FftComplexSerial
                 ) {
-                    return self.generate_pure_fft(ki, resolved, noise, win);
+                    match self.generate_pure_fft(ki, resolved, noise, win) {
+                        Ok(out) => return Ok(out),
+                        // Every FFT rung failed on a worker panic or an
+                        // injected fault: degrade to the per-sample direct
+                        // loop below, which is the bit-exact reference
+                        // evaluator and shares no FFT machinery.
+                        Err(e) if is_degradable(&e) => {
+                            self.obs.add_counter(stage::CONV_DEGRADED_TO_DIRECT, 1);
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
         }
@@ -276,12 +311,13 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
         let span = self.obs.start(stage::CORRELATE);
-        rrs_par::try_par_row_chunks_mut_budgeted(
+        rrs_par::try_par_row_chunks_mut_chaos(
             out_slice,
             nx,
             self.workers,
             &self.obs,
             &self.budget,
+            &self.chaos,
             |iy0, chunk| {
                 let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
                 let mut pure = 0u64;
@@ -414,39 +450,66 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         let noise_win =
             noise.window(x0 - (ox + kw as i64 - 1), y0 - (oy + kh as i64 - 1), ww, wh);
         self.obs.finish(span);
-        self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
-        let out = if resolved == ConvBackend::FftComplexSerial {
-            self.fft.convolve(
-                ki,
-                kernel,
-                &noise_win,
-                ww,
-                wh,
-                nx,
-                ny,
-                self.workers,
-                &self.obs,
-                &self.budget,
-            )?
+        // Graceful degradation: the resolved engine first, then — when it
+        // fails on a worker panic or injected fault — the full-complex
+        // serial baseline. Both rungs failing bubbles the (degradable)
+        // error to `try_generate`, which falls back to the direct loop.
+        let rungs: &[ConvBackend] = if resolved == ConvBackend::FftComplexSerial {
+            &[ConvBackend::FftComplexSerial]
         } else {
-            self.fft.convolve_rfft(
-                ki,
-                kernel,
-                &noise_win,
-                ww,
-                wh,
-                nx,
-                ny,
-                self.workers,
-                &self.obs,
-                &self.budget,
-            )?
+            &[ConvBackend::FftOverlapSave, ConvBackend::FftComplexSerial]
         };
-        let mut shard = self.obs.shard();
-        shard.add(stage::INHOMO_PURE_SAMPLES, (nx * ny) as u64);
-        shard.add(stage::INHOMO_KERNEL_EVALS, (nx * ny) as u64);
-        self.obs.absorb(shard);
-        Ok(out)
+        let mut last_err = None;
+        for (i, &rung) in rungs.iter().enumerate() {
+            if i > 0 {
+                self.obs.add_counter(stage::CONV_DEGRADED_TO_FFT_SERIAL, 1);
+            }
+            self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                if rung == ConvBackend::FftComplexSerial {
+                    self.fft.convolve(
+                        ki,
+                        kernel,
+                        &noise_win,
+                        ww,
+                        wh,
+                        nx,
+                        ny,
+                        self.workers,
+                        &self.obs,
+                        &self.budget,
+                        &self.chaos,
+                    )
+                } else {
+                    self.fft.convolve_rfft(
+                        ki,
+                        kernel,
+                        &noise_win,
+                        ww,
+                        wh,
+                        nx,
+                        ny,
+                        self.workers,
+                        &self.obs,
+                        &self.budget,
+                        &self.chaos,
+                    )
+                }
+            }))
+            .unwrap_or_else(|p| Err(RrsError::worker_panicked(0, p.as_ref())));
+            match attempt {
+                Ok(out) => {
+                    let mut shard = self.obs.shard();
+                    shard.add(stage::INHOMO_PURE_SAMPLES, (nx * ny) as u64);
+                    shard.add(stage::INHOMO_KERNEL_EVALS, (nx * ny) as u64);
+                    self.obs.absorb(shard);
+                    return Ok(out);
+                }
+                Err(e) if is_degradable(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("the ladder has at least one rung"))
     }
 
     /// Evaluates `(w̃_ki ⊛ X)(n)` for the sample at window-local
@@ -752,6 +815,43 @@ mod tests {
         let auto = make().with_backend(rrs_surface::ConvBackend::Auto);
         let e = auto.generate(&noise, Window::new(-40, -40, 32, 32));
         assert_eq!(e, b, "Auto must match the resolved FFT engine exactly");
+    }
+
+    #[test]
+    fn injected_fft_faults_degrade_pure_windows_to_the_direct_loop() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
+        use rrs_obs::Recorder;
+        // Pond-free layout: a pure window that would dispatch to the FFT
+        // engine. Faults at FftTile visits 0 and 1 kill both FFT rungs
+        // (overlap-save, then complex-serial); the generator must fall
+        // back to the per-sample direct loop, whose output is the
+        // bit-exact reference the Direct backend produces.
+        let spectrum = sm(1.1, 5.0);
+        let make = || {
+            let layout = PlateLayout::new(vec![], Some(spectrum), 1.0);
+            InhomogeneousGenerator::new(layout, sizing()).with_workers(1)
+        };
+        let noise = NoiseField::new(37);
+        let win = Window::new(-8, 4, 24, 20);
+        let direct = make().generate(&noise, win);
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(5)
+                .with_fault(FaultSite::FftTile, FaultKind::Error, 0)
+                .with_fault(FaultSite::FftTile, FaultKind::Panic, 1),
+        );
+        let rec = Recorder::enabled();
+        let gen = make()
+            .with_backend(rrs_surface::ConvBackend::FftOverlapSave)
+            .with_recorder(rec.clone())
+            .with_chaos(chaos.clone());
+        let got = gen.try_generate(&noise, win).unwrap();
+        assert_eq!(got, direct, "degraded output must match the direct loop bit-for-bit");
+        let report = rec.report();
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_FFT_SERIAL), 1);
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_DIRECT), 1);
+        assert_eq!(report.counter(stage::CONV_BACKEND_DIRECT), 1);
+        assert_eq!(chaos.visits(FaultSite::FftTile), 2);
+        assert_eq!(chaos.injected(), 2);
     }
 
     #[test]

@@ -170,6 +170,37 @@ mod tests {
     }
 
     #[test]
+    fn panic_mid_write_unwinds_without_leaking_the_tmp_file() {
+        // A worker panicking between `create` and `commit` (e.g. a chaos
+        // injection inside the payload producer) drops the AtomicFile on
+        // the unwind path, which must remove the tmp file and leave the
+        // previous destination content intact.
+        let dir = tmp_dir("panic");
+        let dest = dir.join("out.bin");
+        std::fs::write(&dest, b"previous good content").unwrap();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut af = AtomicFile::create(&dest).unwrap();
+            af.writer().write_all(b"half a payl").unwrap();
+            panic!("injected panic mid-write");
+        }))
+        .unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"injected panic mid-write")
+        );
+        assert_eq!(
+            std::fs::read(&dest).unwrap(),
+            b"previous good content",
+            "destination must be untouched when the writer panics"
+        );
+        assert!(
+            leftovers(&dir).is_empty(),
+            "tmp file must be removed on the unwind path"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn create_in_missing_directory_is_a_context_rich_error() {
         let dest = std::env::temp_dir()
             .join(format!("rrs_atomic_missing_{}", std::process::id()))

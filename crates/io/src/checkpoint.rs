@@ -19,9 +19,10 @@
 //! previous good checkpoint instead of silently resuming from garbage.
 
 use crate::atomic::AtomicFile;
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryPolicy, ThreadSleeper};
 use crate::snapshot::{fnv1a, read_u64_le};
-use rrs_error::RrsError;
+use rrs_chaos::{ChaosInjector, FaultSite};
+use rrs_error::{Budget, RrsError};
 use rrs_obs::{stage, ObsSink, Recorder};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -100,8 +101,38 @@ pub fn write_checkpoint_file_retrying<P: AsRef<Path>>(
     policy: RetryPolicy,
     obs: &Recorder,
 ) -> Result<(), RrsError> {
+    write_checkpoint_file_resilient(
+        path,
+        cp,
+        policy,
+        obs,
+        &Budget::unlimited(),
+        &ChaosInjector::disabled(),
+    )
+}
+
+/// [`write_checkpoint_file_retrying`] under a [`Budget`] and a
+/// [`ChaosInjector`] — the full-fidelity form used by deadlined streaming
+/// runs and the chaos torture suite. Backoffs are clamped against the
+/// budget's deadline (see
+/// [`RetryPolicy::run_with_sleeper_budgeted`]), and the injector's
+/// [`FaultSite::CheckpointWrite`] site is polled (contained) before every
+/// write attempt, so an injected panic surfaces as a typed
+/// [`RrsError::WorkerPanicked`] while the previous checkpoint on disk
+/// stays intact.
+pub fn write_checkpoint_file_resilient<P: AsRef<Path>>(
+    path: P,
+    cp: &StreamCheckpoint,
+    policy: RetryPolicy,
+    obs: &Recorder,
+    budget: &Budget,
+    chaos: &ChaosInjector,
+) -> Result<(), RrsError> {
     let path = path.as_ref();
-    policy.run(obs, || write_checkpoint_file_observed(path, cp, obs))
+    policy.run_with_sleeper_budgeted(obs, &ThreadSleeper, budget, chaos, &mut || {
+        chaos.poll_contained(FaultSite::CheckpointWrite)?;
+        write_checkpoint_file_observed(path, cp, obs)
+    })
 }
 
 /// Reads and validates a checkpoint from `path`.
@@ -218,6 +249,51 @@ mod tests {
             .collect();
         assert!(stray.is_empty(), "tmp files leaked: {stray:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fault_leaves_previous_checkpoint_intact() {
+        use rrs_chaos::{FaultKind, FaultSchedule};
+        use rrs_error::ErrorKind;
+        let path = std::env::temp_dir()
+            .join(format!("rrs_ckpt_chaos_{}.bin", std::process::id()));
+        write_checkpoint_file(&path, &sample()).unwrap();
+        let newer = StreamCheckpoint { cursor: sample().cursor + 64, ..sample() };
+
+        // An Error fault at the first CheckpointWrite visit: the write
+        // never starts, the error is typed, and the old record survives.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(7).with_fault(FaultSite::CheckpointWrite, FaultKind::Error, 0),
+        );
+        let err = write_checkpoint_file_resilient(
+            &path,
+            &newer,
+            RetryPolicy::default(),
+            &Recorder::disabled(),
+            &Budget::unlimited(),
+            &chaos,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::FaultInjected);
+        assert_eq!(read_checkpoint_file(&path).unwrap(), sample());
+
+        // A Panic fault is contained to WorkerPanicked; same guarantee.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(8).with_fault(FaultSite::CheckpointWrite, FaultKind::Panic, 0),
+        );
+        let err = write_checkpoint_file_resilient(
+            &path,
+            &newer,
+            RetryPolicy::default(),
+            &Recorder::disabled(),
+            &Budget::unlimited(),
+            &chaos,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WorkerPanicked);
+        assert_eq!(read_checkpoint_file(&path).unwrap(), sample());
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

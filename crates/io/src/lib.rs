@@ -42,7 +42,8 @@ pub mod snapshot;
 pub use atomic::{write_atomic, AtomicFile};
 pub use checkpoint::{
     read_checkpoint, read_checkpoint_file, write_checkpoint, write_checkpoint_file,
-    write_checkpoint_file_observed, write_checkpoint_file_retrying, StreamCheckpoint,
+    write_checkpoint_file_observed, write_checkpoint_file_resilient,
+    write_checkpoint_file_retrying, StreamCheckpoint,
 };
 pub use csv::{
     read_matrix_csv, try_write_matrix_csv, try_write_matrix_csv_file, try_write_xyz_csv,

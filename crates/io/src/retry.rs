@@ -15,9 +15,10 @@
 //! recording no-op sleeper and run instantly; production callers use the
 //! default [`ThreadSleeper`].
 
-use rrs_error::{ErrorKind, RrsError};
+use rrs_chaos::{ChaosInjector, FaultSite};
+use rrs_error::{Budget, ErrorKind, RrsError};
 use rrs_obs::{stage, ObsSink, Recorder};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How to wait between attempts. Injectable so tests run instantly.
 pub trait Sleeper {
@@ -97,15 +98,57 @@ impl RetryPolicy {
         F: FnMut() -> Result<T, RrsError>,
         S: Sleeper + ?Sized,
     {
+        self.run_with_sleeper_budgeted(
+            obs,
+            sleeper,
+            &Budget::unlimited(),
+            &ChaosInjector::disabled(),
+            op,
+        )
+    }
+
+    /// [`RetryPolicy::run_with_sleeper`] under a [`Budget`] and a
+    /// [`ChaosInjector`].
+    ///
+    /// The budget is polled before every attempt, and each backoff is
+    /// clamped against an armed deadline *before* sleeping: if
+    /// `now + backoff` would land past `budget.deadline()`, the policy
+    /// returns [`RrsError::DeadlineExceeded`] immediately instead of
+    /// sleeping through a deadline it is guaranteed to miss. The chaos
+    /// injector's [`FaultSite::RetrySleep`] site is polled (contained)
+    /// before each backoff.
+    pub fn run_with_sleeper_budgeted<T, F, S>(
+        &self,
+        obs: &Recorder,
+        sleeper: &S,
+        budget: &Budget,
+        chaos: &ChaosInjector,
+        op: &mut F,
+    ) -> Result<T, RrsError>
+    where
+        F: FnMut() -> Result<T, RrsError>,
+        S: Sleeper + ?Sized,
+    {
         let attempts = self.max_attempts.max(1);
         let mut history = String::new();
         for attempt in 1..=attempts {
             if attempt > 1 {
                 let delay = self.backoff(attempt);
+                chaos.poll_contained(FaultSite::RetrySleep)?;
+                if let Some(deadline) = budget.deadline() {
+                    let now = Instant::now();
+                    if now.checked_add(delay).is_none_or(|wake| wake > deadline) {
+                        return Err(RrsError::DeadlineExceeded.with_context(format!(
+                            "a {delay:?} backoff before attempt {attempt} \
+                             would sleep past the armed deadline"
+                        )));
+                    }
+                }
                 let span = obs.start(stage::RETRY_BACKOFF);
                 sleeper.sleep(delay);
                 obs.finish(span);
             }
+            budget.check()?;
             obs.add_counter(stage::RETRY_ATTEMPTS, 1);
             match op() {
                 Ok(v) => return Ok(v),
@@ -235,5 +278,110 @@ mod tests {
         let policy = RetryPolicy { max_attempts: 0, base_delay: Duration::ZERO };
         let out = policy.run(&Recorder::disabled(), || Ok::<_, RrsError>(1)).unwrap();
         assert_eq!(out, 1);
+    }
+
+    #[test]
+    fn backoff_past_the_deadline_fails_fast_instead_of_sleeping() {
+        // First backoff is 1 h; the deadline is 50 ms away. The policy
+        // must return DeadlineExceeded *without* sleeping — a retrying
+        // writer inside a deadlined streaming run gives the caller the
+        // remaining time back instead of burning it in a doomed backoff.
+        let rec = Recorder::enabled();
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        let policy =
+            RetryPolicy { max_attempts: 3, base_delay: Duration::from_secs(3600) };
+        let budget =
+            rrs_error::Budget::unlimited().with_timeout(Duration::from_millis(50));
+        let err = policy
+            .run_with_sleeper_budgeted::<(), _, _>(
+                &rec,
+                &sleeper,
+                &budget,
+                &ChaosInjector::disabled(),
+                &mut || Err(io_err("transient")),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DeadlineExceeded);
+        assert!(err.to_string().contains("would sleep past"), "{err}");
+        assert!(sleeper.0.borrow().is_empty(), "must not have slept");
+        assert_eq!(rec.report().counter(stage::RETRY_ATTEMPTS), 1);
+    }
+
+    #[test]
+    fn chaos_faults_the_retry_sleep_site_without_sleeping() {
+        use rrs_chaos::{FaultKind, FaultSchedule};
+        let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+        // An Error fault at the first RetrySleep visit aborts the retry
+        // loop with a typed error before the backoff runs.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(1).with_fault(FaultSite::RetrySleep, FaultKind::Error, 0),
+        );
+        let err = RetryPolicy::default()
+            .run_with_sleeper_budgeted::<(), _, _>(
+                &Recorder::disabled(),
+                &sleeper,
+                &rrs_error::Budget::unlimited(),
+                &chaos,
+                &mut || Err(io_err("transient")),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::FaultInjected);
+        assert!(sleeper.0.borrow().is_empty());
+
+        // A Panic fault at the same site is contained to WorkerPanicked —
+        // the panic never unwinds through the retry loop.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(2).with_fault(FaultSite::RetrySleep, FaultKind::Panic, 0),
+        );
+        let err = RetryPolicy::default()
+            .run_with_sleeper_budgeted::<(), _, _>(
+                &Recorder::disabled(),
+                &sleeper,
+                &rrs_error::Budget::unlimited(),
+                &chaos,
+                &mut || Err(io_err("transient")),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WorkerPanicked);
+    }
+
+    rrs_check::props! {
+        #![cases = 96]
+
+        // The clamp property: whenever the *first* backoff already
+        // exceeds the armed deadline's offset, the policy returns
+        // DeadlineExceeded without ever invoking the sleeper. This holds
+        // deterministically because time only moves forward: if
+        // offset < delay then now + delay > arm_time + offset.
+        fn backoff_never_sleeps_past_an_armed_deadline(
+            attempts in 2u32..6,
+            base_us in 1_000u64..1_000_000,
+            frac in 0.0f64..1.0,
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: attempts,
+                base_delay: Duration::from_micros(base_us),
+            };
+            let first_backoff = policy.backoff(2);
+            // A deadline strictly inside the first backoff.
+            let offset = first_backoff.mul_f64(frac * 0.99);
+            let budget = rrs_error::Budget::unlimited().with_timeout(offset);
+            let sleeper = RecordingSleeper(RefCell::new(Vec::new()));
+            let err = policy
+                .run_with_sleeper_budgeted::<(), _, _>(
+                    &Recorder::disabled(),
+                    &sleeper,
+                    &budget,
+                    &ChaosInjector::disabled(),
+                    &mut || Err(io_err("transient")),
+                )
+                .unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::DeadlineExceeded);
+            assert!(
+                sleeper.0.borrow().is_empty(),
+                "a backoff of {first_backoff:?} must not start under a \
+                 deadline {offset:?} away"
+            );
+        }
     }
 }

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+use rrs_chaos::{ChaosInjector, FaultSite};
 use rrs_error::{Budget, RrsError};
 use rrs_obs::{stage, ObsSink, Recorder};
 use std::num::NonZeroUsize;
@@ -184,6 +185,17 @@ where
 {
     catch_unwind(AssertUnwindSafe(|| f(band, chunk)))
         .map_err(|p| RrsError::worker_panicked(band, p.as_ref()))
+}
+
+/// [`run_caught`] for fallible closures: a panic maps to
+/// [`RrsError::WorkerPanicked`], an `Err` passes through unchanged.
+fn run_caught_fallible<T, F>(band: usize, chunk: &mut [T], f: &F) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) -> Result<(), RrsError> + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| f(band, chunk)))
+        .unwrap_or_else(|p| Err(RrsError::worker_panicked(band, p.as_ref())))
 }
 
 /// Panic-contained [`par_chunks_mut`]: every chunk closure runs under
@@ -442,6 +454,132 @@ where
     });
     obs.add_counter(stage::PAR_BANDS, bands);
     obs.add_counter(stage::BUDGET_POLLS, polls);
+    if panics > 0 {
+        obs.add_counter(stage::PAR_WORKER_PANICS, panics);
+    }
+    first.map_or(Ok(()), Err)
+}
+
+/// [`try_par_row_chunks_mut_budgeted`] with deterministic fault
+/// injection: with an armed [`ChaosInjector`], every band slice polls
+/// [`FaultSite::ParBandSlice`] *inside* the band's panic containment, so
+/// an injected panic, error, cancellation or deadline expiry surfaces as
+/// a typed [`RrsError`] from the lowest-indexed affected band — exactly
+/// the containment path a real worker panic takes.
+///
+/// With a disabled injector this *is* [`try_par_row_chunks_mut_budgeted`]
+/// (which in turn delegates to the pre-budget primitive when the budget
+/// needs no polling): the delegation happens before any chaos machinery
+/// runs, so the chaos-off hot path costs one `Option` discriminant test
+/// (the `bench_runtime` gate holds it under 1.05x).
+pub fn try_par_row_chunks_mut_chaos<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    workers: usize,
+    obs: &Recorder,
+    budget: &Budget,
+    chaos: &ChaosInjector,
+    f: F,
+) -> Result<(), RrsError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if !chaos.is_enabled() {
+        return try_par_row_chunks_mut_budgeted(data, row_len, workers, obs, budget, f);
+    }
+    if row_len == 0 {
+        return Err(RrsError::invalid_param("row_len", "row_len must be positive, got 0"));
+    }
+    if data.len() % row_len != 0 {
+        return Err(RrsError::shape_mismatch(
+            "buffer is not whole rows",
+            format!("a multiple of {row_len}"),
+            data.len(),
+        ));
+    }
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        return Ok(());
+    }
+    let band_ranges = row_bands(rows, workers);
+    let max_band_rows = band_ranges.iter().map(|&(a, b)| b - a).max().unwrap_or(rows);
+    let poll_rows = max_band_rows.div_ceil(BUDGET_POLL_SLICES).max(1);
+    let polling = budget.needs_polling();
+
+    // One band, slice by slice: budget poll (when armed) outside the
+    // containment, chaos poll + the band closure inside it, so injected
+    // panics are caught exactly where real worker panics are.
+    let run_band = |band: usize, band_start_row: usize, band_data: &mut [T]| {
+        let mut polls = 0u64;
+        let mut row = 0usize;
+        for slice in band_data.chunks_mut(poll_rows * row_len) {
+            if polling {
+                polls += 1;
+                if let Err(e) = budget.check() {
+                    return (polls, Err(e));
+                }
+            }
+            let r = run_caught_fallible(band_start_row + row, slice, &|r, s: &mut [T]| {
+                chaos.poll(FaultSite::ParBandSlice)?;
+                f(r, s);
+                Ok(())
+            })
+            .map_err(rename_band_to_row(band));
+            if let Err(e) = r {
+                return (polls, Err(e));
+            }
+            row += slice.len() / row_len;
+        }
+        (polls, Ok(()))
+    };
+
+    if band_ranges.len() == 1 {
+        obs.add_counter(stage::PAR_BANDS, 1);
+        let (polls, result) = run_band(0, 0, data);
+        if polls > 0 {
+            obs.add_counter(stage::BUDGET_POLLS, polls);
+        }
+        return result.inspect_err(|e| {
+            if e.kind() == rrs_error::ErrorKind::WorkerPanicked {
+                obs.add_counter(stage::PAR_WORKER_PANICS, 1);
+            }
+        });
+    }
+    let mut first: Option<RrsError> = None;
+    let mut bands = 0u64;
+    let mut panics = 0u64;
+    let mut polls = 0u64;
+    scope(|s| {
+        let mut rest = data;
+        let handles: Vec<_> = band_ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(r0, r1))| {
+                let (band, tail) = std::mem::take(&mut rest).split_at_mut((r1 - r0) * row_len);
+                rest = tail;
+                let run_band = &run_band;
+                s.spawn(move || run_band(i, r0, band))
+            })
+            .collect();
+        for h in handles {
+            bands += 1;
+            let (band_polls, r) = h.join().expect("worker closures are panic-contained");
+            polls += band_polls;
+            if let Err(e) = r {
+                if e.kind() == rrs_error::ErrorKind::WorkerPanicked {
+                    panics += 1;
+                }
+                if first.is_none() {
+                    first = Some(e);
+                }
+            }
+        }
+    });
+    obs.add_counter(stage::PAR_BANDS, bands);
+    if polls > 0 {
+        obs.add_counter(stage::BUDGET_POLLS, polls);
+    }
     if panics > 0 {
         obs.add_counter(stage::PAR_WORKER_PANICS, panics);
     }
@@ -1027,5 +1165,84 @@ mod tests {
             h.join().unwrap()
         });
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn chaos_disabled_is_bit_identical_to_budgeted() {
+        use rrs_error::Budget;
+        let fill = |row0: usize, band: &mut [u64]| {
+            for (j, x) in band.iter_mut().enumerate() {
+                *x = (row0 as u64) << 32 | j as u64;
+            }
+        };
+        for workers in [1usize, 3] {
+            let mut want = vec![0u64; 4 * 9];
+            try_par_row_chunks_mut_budgeted(&mut want, 4, workers, &Recorder::disabled(),
+                &Budget::unlimited(), |r, b| fill(r, b))
+            .unwrap();
+            let mut got = vec![0u64; 4 * 9];
+            try_par_row_chunks_mut_chaos(&mut got, 4, workers, &Recorder::disabled(),
+                &Budget::unlimited(), &rrs_chaos::ChaosInjector::disabled(), |r, b| fill(r, b))
+            .unwrap();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chaos_error_fault_fires_at_the_exact_slice_index() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule};
+        use rrs_error::Budget;
+        // Serial: 64 rows in one band, 8-row poll slices → 8 ParBandSlice
+        // visits. A fault at index 3 lets exactly three slices run.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(11).with_fault(FaultSite::ParBandSlice, FaultKind::Error, 3),
+        );
+        let mut v = vec![0u64; 4 * 64];
+        let err = try_par_row_chunks_mut_chaos(&mut v, 4, 1, &Recorder::disabled(),
+            &Budget::unlimited(), &chaos, |_, band| band.iter_mut().for_each(|x| *x = 1))
+        .unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::FaultInjected);
+        assert!(err.to_string().contains("par_band_slice[3]"), "{err}");
+        assert_eq!(v.iter().sum::<u64>(), 4 * 8 * 3, "exactly three slices written");
+        assert_eq!(chaos.visits(FaultSite::ParBandSlice), 4, "three clean polls + the fault");
+    }
+
+    #[test]
+    fn chaos_panic_fault_is_contained_and_counted() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule};
+        use rrs_error::Budget;
+        for workers in [1usize, 3] {
+            let chaos = ChaosInjector::new(
+                FaultSchedule::new(13).with_fault(FaultSite::ParBandSlice, FaultKind::Panic, 0),
+            );
+            let rec = Recorder::enabled();
+            let mut v = vec![0u64; 4 * 9];
+            let err = try_par_row_chunks_mut_chaos(&mut v, 4, workers, &rec,
+                &Budget::unlimited(), &chaos, |_, _| {})
+            .unwrap_err();
+            assert_eq!(err.kind(), rrs_error::ErrorKind::WorkerPanicked, "workers={workers}");
+            assert!(err.to_string().contains("chaos: injected panic"), "{err}");
+            assert_eq!(rec.report().counter(stage::PAR_WORKER_PANICS), 1);
+            assert_eq!(chaos.injected(), 1);
+        }
+    }
+
+    #[test]
+    fn chaos_cancel_and_deadline_faults_surface_typed() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule};
+        use rrs_error::Budget;
+        for (kind, want) in [
+            (FaultKind::Cancel, rrs_error::ErrorKind::Cancelled),
+            (FaultKind::Deadline, rrs_error::ErrorKind::DeadlineExceeded),
+        ] {
+            let chaos = ChaosInjector::new(
+                FaultSchedule::new(17).with_fault(FaultSite::ParBandSlice, kind, 0),
+            );
+            let mut v = vec![0u8; 4 * 8];
+            let err = try_par_row_chunks_mut_chaos(&mut v, 4, 2, &Recorder::disabled(),
+                &Budget::unlimited(), &chaos, |_, _| {})
+            .unwrap_err();
+            assert_eq!(err.kind(), want, "{kind:?}");
+        }
     }
 }

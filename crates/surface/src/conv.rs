@@ -22,11 +22,14 @@
 use crate::fftconv::{self, FftEngine};
 use crate::kernel::{ConvolutionKernel, KernelSizing};
 use crate::noise::NoiseField;
-use rrs_error::{Budget, RrsError};
+use rrs_chaos::ChaosInjector;
+use rrs_error::{Budget, ErrorKind, RrsError};
 use rrs_fft::FftPlanCache;
 use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::Spectrum;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Kernel area (`kw·kh`) above which [`ConvBackend::Auto`] dispatches to
@@ -92,6 +95,104 @@ impl ConvBackend {
     }
 }
 
+/// Consecutive failures after which the circuit breaker stops offering a
+/// backend (except as the ladder's last rung, which always runs).
+const BREAKER_THRESHOLD: u64 = 3;
+/// While a backend is held open, every Nth skipped request is let
+/// through as a probe so a recovered backend closes the breaker again.
+const BREAKER_PROBE_EVERY: u64 = 16;
+
+/// Per-generator circuit breaker over the degradation ladder
+/// `FftOverlapSave → FftComplexSerial → Direct`.
+///
+/// Every backend attempt reports success or failure here; after
+/// [`BREAKER_THRESHOLD`] *consecutive* failures the breaker opens and
+/// the dispatcher skips that rung (ticking
+/// [`stage::CONV_BREAKER_SKIPS`]) instead of re-running a backend that
+/// keeps panicking — except as the last rung of the ladder, which is
+/// always attempted so a request never fails purely because the breaker
+/// is open. Every [`BREAKER_PROBE_EVERY`]th skipped request probes the
+/// open backend; one success closes the breaker.
+///
+/// All state is atomic, so the breaker works under `&self` from
+/// concurrent requests; it is heuristic routing state only and never
+/// influences the *bits* of a successful result (every backend the
+/// ladder can land on is the same convolution sum).
+#[derive(Debug, Default)]
+pub struct BackendHealth {
+    consec_failures: [AtomicU64; 3],
+    skipped: [AtomicU64; 3],
+}
+
+impl BackendHealth {
+    /// A breaker with every backend closed (healthy).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(backend: ConvBackend) -> usize {
+        match backend {
+            ConvBackend::FftOverlapSave => 0,
+            ConvBackend::FftComplexSerial => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the dispatcher should attempt `backend`, advancing the
+    /// probe counter when the breaker is open.
+    pub fn should_try(&self, backend: ConvBackend) -> bool {
+        let s = Self::slot(backend);
+        if self.consec_failures[s].load(Ordering::Relaxed) < BREAKER_THRESHOLD {
+            return true;
+        }
+        let k = self.skipped[s].fetch_add(1, Ordering::Relaxed);
+        (k + 1) % BREAKER_PROBE_EVERY == 0
+    }
+
+    /// Records a successful run: closes the breaker for `backend`.
+    pub fn record_success(&self, backend: ConvBackend) {
+        self.consec_failures[Self::slot(backend)].store(0, Ordering::Relaxed);
+    }
+
+    /// Records a failed run of `backend`.
+    pub fn record_failure(&self, backend: ConvBackend) {
+        self.consec_failures[Self::slot(backend)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current consecutive-failure count for `backend`.
+    pub fn consecutive_failures(&self, backend: ConvBackend) -> u64 {
+        self.consec_failures[Self::slot(backend)].load(Ordering::Relaxed)
+    }
+
+    /// True when `backend` has failed often enough that the dispatcher
+    /// skips it (outside probe requests and last-rung duty).
+    pub fn is_open(&self, backend: ConvBackend) -> bool {
+        self.consec_failures[Self::slot(backend)].load(Ordering::Relaxed) >= BREAKER_THRESHOLD
+    }
+}
+
+/// The degradation ladder a resolved backend retries down: each rung is
+/// the same convolution sum on a slower, simpler engine, ending at the
+/// reference `Direct` loop (which has no further fallback).
+fn ladder(resolved: ConvBackend) -> &'static [ConvBackend] {
+    match resolved {
+        ConvBackend::FftOverlapSave => {
+            &[ConvBackend::FftOverlapSave, ConvBackend::FftComplexSerial, ConvBackend::Direct]
+        }
+        ConvBackend::FftComplexSerial => &[ConvBackend::FftComplexSerial, ConvBackend::Direct],
+        _ => &[ConvBackend::Direct],
+    }
+}
+
+/// Whether a failed backend attempt should fall to the next rung.
+/// Worker panics (real or chaos-injected) and injected faults degrade;
+/// everything else — cancellation, deadline expiry, admission rejection,
+/// invalid input — reflects the *request*, not the engine, and must
+/// surface unchanged no matter which rung produced it.
+fn is_degradable(e: &RrsError) -> bool {
+    matches!(e.kind(), ErrorKind::WorkerPanicked | ErrorKind::FaultInjected)
+}
+
 /// Homogeneous surface generator by real-space convolution.
 pub struct ConvolutionGenerator {
     kernel: ConvolutionKernel,
@@ -100,6 +201,8 @@ pub struct ConvolutionGenerator {
     budget: Budget,
     backend: ConvBackend,
     fft: FftEngine,
+    chaos: ChaosInjector,
+    health: BackendHealth,
     /// Noise-window scratch reused across requests (the streaming bench
     /// materialises hundreds of same-shape windows per run); concurrent
     /// requests that lose the `try_lock` race fall back to a fresh
@@ -137,6 +240,8 @@ impl ConvolutionGenerator {
             budget: Budget::unlimited(),
             backend: ConvBackend::default(),
             fft: FftEngine::new(Arc::new(FftPlanCache::new())),
+            chaos: ChaosInjector::disabled(),
+            health: BackendHealth::new(),
             scratch: Mutex::new(Vec::new()),
         }
     }
@@ -211,6 +316,29 @@ impl ConvolutionGenerator {
     /// [`ConvolutionGenerator::with_budget`] was called).
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Arms a deterministic fault schedule ([`ChaosInjector`]): every
+    /// cooperative poll point this generator touches — parallel band
+    /// slices, FFT tile loops, plan-cache lookups — polls the schedule
+    /// and can be made to panic, error, cancel or expire on exact visit
+    /// indices. The default is [`ChaosInjector::disabled`], under which
+    /// every poll is a single branch and output is untouched (the
+    /// `bench_runtime` gate holds the overhead under 1.05x).
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// The armed chaos injector (disabled unless
+    /// [`ConvolutionGenerator::with_chaos`] was called).
+    pub fn chaos(&self) -> &ChaosInjector {
+        &self.chaos
+    }
+
+    /// This generator's circuit breaker over the degradation ladder.
+    pub fn backend_health(&self) -> &BackendHealth {
+        &self.health
     }
 
     /// The kernel in use.
@@ -320,8 +448,16 @@ impl ConvolutionGenerator {
         self.generate(noise, win)
     }
 
-    /// Routes an already-materialised window to the engine the backend
-    /// policy resolves to, ticking the per-request dispatch counter.
+    /// Routes an already-materialised window down the degradation
+    /// ladder: the resolved backend first, then — if an attempt fails
+    /// degradably (worker panic or injected fault) or the circuit
+    /// breaker holds it open — each slower rung in turn, ending at the
+    /// reference `Direct` loop, which is always attempted. Each retry on
+    /// a lower rung ticks the matching `conv/degraded_to_*` counter; a
+    /// breaker skip ticks [`stage::CONV_BREAKER_SKIPS`]. Every attempt
+    /// runs under its own `catch_unwind` and builds its own output grid,
+    /// so a failed rung can neither leak a panic nor leave torn samples
+    /// in the result a later rung returns.
     fn dispatch(
         &self,
         win: &[f64],
@@ -331,7 +467,55 @@ impl ConvolutionGenerator {
         ny: usize,
     ) -> Result<Grid2<f64>, RrsError> {
         let (kw, kh) = self.kernel.extent();
-        match self.backend.resolve(kw, kh) {
+        let rungs = ladder(self.backend.resolve(kw, kh));
+        let mut degraded = false;
+        for (i, &rung) in rungs.iter().enumerate() {
+            let is_last = i + 1 == rungs.len();
+            if !is_last && !self.health.should_try(rung) {
+                self.obs.add_counter(stage::CONV_BREAKER_SKIPS, 1);
+                degraded = true;
+                continue;
+            }
+            if degraded {
+                match rung {
+                    ConvBackend::FftComplexSerial => {
+                        self.obs.add_counter(stage::CONV_DEGRADED_TO_FFT_SERIAL, 1)
+                    }
+                    _ => self.obs.add_counter(stage::CONV_DEGRADED_TO_DIRECT, 1),
+                }
+            }
+            match self.run_backend(rung, win, ww, wh, nx, ny) {
+                Ok(out) => {
+                    self.health.record_success(rung);
+                    return Ok(out);
+                }
+                Err(e) => {
+                    self.health.record_failure(rung);
+                    if is_last || !is_degradable(&e) {
+                        return Err(e);
+                    }
+                    degraded = true;
+                }
+            }
+        }
+        unreachable!("the ladder's last rung always returns")
+    }
+
+    /// Runs one ladder rung under panic containment, ticking its
+    /// per-request dispatch counter. A panic anywhere inside the engine
+    /// — a real worker bug, a poisoning unwind, an injected chaos fault
+    /// on a serial path — surfaces as [`RrsError::WorkerPanicked`], the
+    /// degradable kind the ladder retries on.
+    fn run_backend(
+        &self,
+        rung: ConvBackend,
+        win: &[f64],
+        ww: usize,
+        wh: usize,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Grid2<f64>, RrsError> {
+        catch_unwind(AssertUnwindSafe(|| match rung {
             ConvBackend::FftOverlapSave => {
                 self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
                 self.fft.convolve_rfft(
@@ -345,6 +529,7 @@ impl ConvolutionGenerator {
                     self.workers,
                     &self.obs,
                     &self.budget,
+                    &self.chaos,
                 )
             }
             ConvBackend::FftComplexSerial => {
@@ -360,13 +545,15 @@ impl ConvolutionGenerator {
                     self.workers,
                     &self.obs,
                     &self.budget,
+                    &self.chaos,
                 )
             }
             _ => {
                 self.obs.add_counter(stage::CONV_BACKEND_DIRECT, 1);
                 self.correlate(win, ww, nx, ny)
             }
-        }
+        }))
+        .unwrap_or_else(|p| Err(RrsError::worker_panicked(0, p.as_ref())))
     }
 
     /// Correlates a pre-materialised noise window against the kernel
@@ -420,12 +607,13 @@ impl ConvolutionGenerator {
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
         let span = self.obs.start(stage::CORRELATE);
-        rrs_par::try_par_row_chunks_mut_budgeted(
+        rrs_par::try_par_row_chunks_mut_chaos(
             out_slice,
             nx,
             self.workers,
             &self.obs,
             &self.budget,
+            &self.chaos,
             |iy0, chunk| {
                 let mut s_row = vec![0.0f64; nx];
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
@@ -486,12 +674,13 @@ impl ConvolutionGenerator {
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
         let span = self.obs.start(stage::CORRELATE);
-        rrs_par::try_par_row_chunks_mut_budgeted(
+        rrs_par::try_par_row_chunks_mut_chaos(
             out_slice,
             nx,
             self.workers,
             &self.obs,
             &self.budget,
+            &self.chaos,
             |iy0, chunk| {
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                     let iy = iy0 + row_off;
@@ -787,5 +976,145 @@ mod tests {
         }
         assert_eq!(report.counter(stage::CORRELATE_SAMPLES), 40 * 24);
         assert!(report.counter(stage::PAR_BANDS) >= 2);
+    }
+
+    #[test]
+    fn injected_fft_faults_degrade_to_direct_bit_identical() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let k = ConvolutionKernel::build(&s, KernelSizing::default());
+        let noise = NoiseField::new(41);
+        let win = Window::sized(24, 24);
+        let clean = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(1)
+            .with_backend(ConvBackend::Direct)
+            .generate(&noise, win);
+        // Serial tile loops visit FftTile deterministically: the
+        // overlap-save rung faults at visit 0, the complex-serial rung at
+        // visit 1 (one fault a panic, to prove rung-level containment),
+        // and the Direct rung — the reference loop — serves the request.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(1)
+                .with_fault(FaultSite::FftTile, FaultKind::Error, 0)
+                .with_fault(FaultSite::FftTile, FaultKind::Panic, 1),
+        );
+        let rec = Recorder::enabled();
+        let gen = ConvolutionGenerator::from_kernel(k)
+            .with_workers(1)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_recorder(rec.clone())
+            .with_chaos(chaos.clone());
+        let got = gen.try_generate(&noise, win).unwrap();
+        assert_eq!(got, clean, "degraded output must be bit-identical to clean Direct");
+        let report = rec.report();
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_FFT_SERIAL), 1);
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_DIRECT), 1);
+        assert_eq!(chaos.visits(FaultSite::FftTile), 2, "one poll per failed rung");
+        assert_eq!(chaos.injected(), 2);
+        let health = gen.backend_health();
+        assert_eq!(health.consecutive_failures(ConvBackend::FftOverlapSave), 1);
+        assert_eq!(health.consecutive_failures(ConvBackend::FftComplexSerial), 1);
+        assert_eq!(health.consecutive_failures(ConvBackend::Direct), 0);
+
+        // The schedule is exhausted: the same generator now serves the
+        // FFT path cleanly and the breaker closes again.
+        let again = gen.try_generate(&noise, win).unwrap();
+        let scale = clean.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (a, b) in again.as_slice().iter().zip(clean.as_slice()) {
+            assert!((a - b).abs() <= 1e-9 * scale);
+        }
+        assert_eq!(gen.backend_health().consecutive_failures(ConvBackend::FftOverlapSave), 0);
+    }
+
+    #[test]
+    fn one_rung_degradation_matches_the_serial_fft_engine_exactly() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
+        let s = Gaussian::new(SurfaceParams::isotropic(1.2, 5.0));
+        let k = ConvolutionKernel::build(&s, KernelSizing::default());
+        let noise = NoiseField::new(43);
+        let win = Window::sized(20, 28);
+        let serial_fft = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(1)
+            .with_backend(ConvBackend::FftComplexSerial)
+            .generate(&noise, win);
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(2).with_fault(FaultSite::FftTile, FaultKind::Error, 0),
+        );
+        let got = ConvolutionGenerator::from_kernel(k)
+            .with_workers(1)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_chaos(chaos)
+            .try_generate(&noise, win)
+            .unwrap();
+        assert_eq!(
+            got, serial_fft,
+            "falling one rung must land on the serial FFT engine bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn non_degradable_errors_surface_unchanged() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
+        // A Cancel fault reflects the request, not the engine: no ladder
+        // retry, no degradation counters.
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(3).with_fault(FaultSite::FftTile, FaultKind::Cancel, 0),
+        );
+        let rec = Recorder::enabled();
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default())
+            .with_workers(1)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_recorder(rec.clone())
+            .with_chaos(chaos);
+        let err = gen.try_generate(&NoiseField::new(5), Window::sized(16, 16)).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::Cancelled);
+        let report = rec.report();
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_FFT_SERIAL), 0);
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_DIRECT), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_every_16th() {
+        let h = BackendHealth::new();
+        let b = ConvBackend::FftOverlapSave;
+        assert!(h.should_try(b));
+        for _ in 0..BREAKER_THRESHOLD {
+            h.record_failure(b);
+        }
+        assert!(h.is_open(b));
+        let allowed = (0..BREAKER_PROBE_EVERY).filter(|_| h.should_try(b)).count();
+        assert_eq!(allowed, 1, "exactly one probe per {BREAKER_PROBE_EVERY} skips");
+        h.record_success(b);
+        assert!(!h.is_open(b));
+        assert!(h.should_try(b));
+    }
+
+    #[test]
+    fn open_breakers_skip_straight_to_direct_but_never_fail_a_request() {
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let k = ConvolutionKernel::build(&s, KernelSizing::default());
+        let noise = NoiseField::new(47);
+        let win = Window::sized(18, 18);
+        let clean = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(1)
+            .with_backend(ConvBackend::Direct)
+            .generate(&noise, win);
+        let rec = Recorder::enabled();
+        let gen = ConvolutionGenerator::from_kernel(k)
+            .with_workers(1)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_recorder(rec.clone());
+        for _ in 0..BREAKER_THRESHOLD {
+            gen.backend_health().record_failure(ConvBackend::FftOverlapSave);
+            gen.backend_health().record_failure(ConvBackend::FftComplexSerial);
+        }
+        let got = gen.try_generate(&noise, win).unwrap();
+        assert_eq!(got, clean, "Direct always serves when upper rungs are open");
+        let report = rec.report();
+        assert_eq!(report.counter(stage::CONV_BREAKER_SKIPS), 2);
+        assert_eq!(report.counter(stage::CONV_DEGRADED_TO_DIRECT), 1);
+        assert_eq!(report.counter(stage::CONV_BACKEND_DIRECT), 1);
+        assert_eq!(report.counter(stage::CONV_BACKEND_FFT), 0);
     }
 }

@@ -48,6 +48,7 @@
 //! serially regardless of the configured worker count.
 
 use crate::kernel::ConvolutionKernel;
+use rrs_chaos::{ChaosInjector, FaultSite};
 use rrs_error::{Budget, RrsError};
 use rrs_fft::{Direction, FftPlanCache, RealFft2d};
 use rrs_grid::Grid2;
@@ -55,7 +56,7 @@ use rrs_num::Complex64;
 use rrs_obs::{stage, ObsSink, Recorder, Shard};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The overlap-save tile shape chosen for one `(output, kernel)` geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -204,6 +205,26 @@ pub struct FftEngine {
     kernel_rffts: Mutex<HashMap<(usize, usize, usize), Arc<Vec<Complex64>>>>,
 }
 
+/// Locks a kernel-spectrum cache, recovering from poisoning by
+/// rebuilding from empty: cached spectra are pure functions of
+/// `(kernel id, tile shape)`, so clearing trades a re-transform for
+/// never propagating the poison. Each recovery ticks
+/// [`stage::FFT_PLAN_POISONED`].
+fn lock_spectra<'a>(
+    cache: &'a Mutex<HashMap<(usize, usize, usize), Arc<Vec<Complex64>>>>,
+    obs: &Recorder,
+) -> MutexGuard<'a, HashMap<(usize, usize, usize), Arc<Vec<Complex64>>>> {
+    cache.lock().unwrap_or_else(|poisoned| {
+        // Un-poison first: the rebuild makes the map coherent again, and
+        // without this every later lock would re-clear it.
+        cache.clear_poison();
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        obs.add_counter(stage::FFT_PLAN_POISONED, 1);
+        guard
+    })
+}
+
 impl FftEngine {
     /// Builds an engine drawing 2-D transforms from `plans`.
     pub fn new(plans: Arc<FftPlanCache>) -> Self {
@@ -229,10 +250,10 @@ impl FftEngine {
         kernel: &ConvolutionKernel,
         tile: TileShape,
         workers: usize,
+        obs: &Recorder,
     ) -> Arc<Vec<Complex64>> {
         let key = (kernel_id, tile.fft_nx, tile.fft_ny);
-        if let Some(cached) = self.kernel_ffts.lock().expect("kernel fft cache poisoned").get(&key)
-        {
+        if let Some(cached) = lock_spectra(&self.kernel_ffts, obs).get(&key) {
             return cached.clone();
         }
         let (kw, kh) = kernel.extent();
@@ -247,12 +268,7 @@ impl FftEngine {
         }
         self.plans.plan(tile.fft_nx, tile.fft_ny, workers).process(&mut buf, Direction::Forward);
         let arc = Arc::new(buf);
-        self.kernel_ffts
-            .lock()
-            .expect("kernel fft cache poisoned")
-            .entry(key)
-            .or_insert(arc)
-            .clone()
+        lock_spectra(&self.kernel_ffts, obs).entry(key).or_insert(arc).clone()
     }
 
     /// The packed-real kernel spectrum on the `tile` lattice, transformed
@@ -266,9 +282,7 @@ impl FftEngine {
         obs: &Recorder,
     ) -> Arc<Vec<Complex64>> {
         let key = (kernel_id, tile.fft_nx, tile.fft_ny);
-        if let Some(cached) =
-            self.kernel_rffts.lock().expect("kernel rfft cache poisoned").get(&key)
-        {
+        if let Some(cached) = lock_spectra(&self.kernel_rffts, obs).get(&key) {
             return cached.clone();
         }
         let (kw, kh) = kernel.extent();
@@ -280,12 +294,7 @@ impl FftEngine {
         }
         let spec = self.plans.plan_real_observed(tile.fft_nx, tile.fft_ny, 1, obs).forward_real(&buf);
         let arc = Arc::new(spec);
-        self.kernel_rffts
-            .lock()
-            .expect("kernel rfft cache poisoned")
-            .entry(key)
-            .or_insert(arc)
-            .clone()
+        lock_spectra(&self.kernel_rffts, obs).entry(key).or_insert(arc).clone()
     }
 
     /// Convolves a materialised `ww × wh` noise window with `kernel`,
@@ -312,6 +321,7 @@ impl FftEngine {
         workers: usize,
         obs: &Recorder,
         budget: &Budget,
+        chaos: &ChaosInjector,
     ) -> Result<Grid2<f64>, RrsError> {
         let (kw, kh) = kernel.extent();
         debug_assert_eq!(win.len(), ww * wh);
@@ -327,6 +337,7 @@ impl FftEngine {
         // Per-worker transforms are serial (workers = 1): parallelism
         // lives at the tile level, and the serial plan is shared by every
         // arena (plans are immutable).
+        chaos.poll(FaultSite::PlanCacheLookup)?;
         let rfft = self.plans.plan_real_observed(fx, fy, 1, obs);
         let kspec = self.kernel_spectrum_real(kernel_id, kernel, tile_shape, obs);
         let polling = budget.needs_polling();
@@ -339,7 +350,7 @@ impl FftEngine {
             let mut shard = obs.shard();
             let result = run_tile_range(
                 0, total, geom, win, &rfft, &kspec, out_ptr, &mut arena, &mut shard, budget,
-                polling,
+                polling, chaos,
             );
             obs.absorb(shard);
             result?;
@@ -361,7 +372,7 @@ impl FftEngine {
                                 let mut shard = obs.shard();
                                 run_tile_range(
                                     t0, t1, geom, win, rfft, kspec, out_ptr, &mut arena,
-                                    &mut shard, budget, polling,
+                                    &mut shard, budget, polling, chaos,
                                 )
                                 .map(|()| shard)
                             }))
@@ -423,6 +434,7 @@ impl FftEngine {
         workers: usize,
         obs: &Recorder,
         budget: &Budget,
+        chaos: &ChaosInjector,
     ) -> Result<Grid2<f64>, RrsError> {
         let (kw, kh) = kernel.extent();
         debug_assert_eq!(win.len(), ww * wh);
@@ -431,8 +443,9 @@ impl FftEngine {
         let tile_shape = plan_tiles(nx, ny, kw, kh);
         let (fx, fy) = (tile_shape.fft_nx, tile_shape.fft_ny);
         let (vx, vy) = tile_shape.valid(kw, kh);
+        chaos.poll(FaultSite::PlanCacheLookup)?;
         let fft = self.plans.plan_observed(fx, fy, workers, obs);
-        let kspec = self.kernel_spectrum(kernel_id, kernel, tile_shape, workers);
+        let kspec = self.kernel_spectrum(kernel_id, kernel, tile_shape, workers, obs);
         let polling = budget.needs_polling();
 
         let mut out = Grid2::zeros(nx, ny);
@@ -448,6 +461,7 @@ impl FftEngine {
                     obs.add_counter(stage::BUDGET_POLLS, 1);
                     budget.check()?;
                 }
+                chaos.poll(FaultSite::FftTile)?;
                 // Gather the segment [ox, ox+fx) × [oy, oy+fy) of the
                 // window, zero-padded past its edges.
                 let cols = (ww - ox).min(fx);
@@ -507,12 +521,14 @@ fn run_tile_range(
     shard: &mut Shard,
     budget: &Budget,
     polling: bool,
+    chaos: &ChaosInjector,
 ) -> Result<(), RrsError> {
     for t in t0..t1 {
         if polling {
             shard.add(stage::BUDGET_POLLS, 1);
             budget.check()?;
         }
+        chaos.poll(FaultSite::FftTile)?;
         let ox = (t % g.tiles_x) * g.vx;
         let oy = (t / g.tiles_x) * g.vy;
         // Gather the segment [ox, ox+fx) × [oy, oy+fy) of the window,

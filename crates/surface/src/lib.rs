@@ -30,7 +30,7 @@ pub mod kernel;
 pub mod noise;
 pub mod stream;
 
-pub use conv::{ConvBackend, ConvolutionGenerator};
+pub use conv::{BackendHealth, ConvBackend, ConvolutionGenerator};
 
 #[doc(hidden)]
 pub mod internal {

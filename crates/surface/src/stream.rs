@@ -128,6 +128,23 @@ impl StripGenerator {
         self.gen.budget()
     }
 
+    /// Arms a deterministic fault schedule on the inner generator and on
+    /// this stream's own strip boundary: each strip request polls
+    /// [`FaultSite::StripTile`](rrs_chaos::FaultSite) (panic-contained)
+    /// before generating, and the inner generator's band/tile/plan sites
+    /// poll the same shared schedule. The cursor advances only on
+    /// success, so an injected fault leaves the stream resumable exactly
+    /// like a real one.
+    pub fn with_chaos(mut self, chaos: rrs_chaos::ChaosInjector) -> Self {
+        self.gen = self.gen.with_chaos(chaos);
+        self
+    }
+
+    /// The chaos injector attached to the inner generator.
+    pub fn chaos(&self) -> &rrs_chaos::ChaosInjector {
+        self.gen.chaos()
+    }
+
     /// The recorder attached to the inner generator.
     pub fn recorder(&self) -> &Recorder {
         self.gen.recorder()
@@ -158,6 +175,10 @@ impl StripGenerator {
     /// of aborting inside the allocator.
     pub fn try_strip_at(&self, x0: i64, width: usize) -> Result<Grid2<f64>, RrsError> {
         let win = Window::try_new(x0, 0, width, self.ny)?;
+        // The strip boundary is a registered fault site; the poll
+        // contains its own injected panic, so a scheduled fault here
+        // surfaces as a typed error with the cursor unadvanced.
+        self.gen.chaos().poll_contained(rrs_chaos::FaultSite::StripTile)?;
         let out = self.gen.try_generate(&self.noise, win)?;
         self.gen.recorder().add_counter(stage::STRIP_TILES, 1);
         Ok(out)
@@ -292,5 +313,34 @@ mod tests {
         let report = rec.report();
         assert_eq!(report.counter(stage::STRIP_TILES), 3);
         assert!(report.durations.contains_key(stage::WINDOW_MATERIALISE));
+    }
+
+    #[test]
+    fn chaos_fault_at_a_strip_boundary_is_typed_and_resumable() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
+        // The second strip boundary faults; strips 0 and 2 are clean.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(21).with_fault(FaultSite::StripTile, FaultKind::Error, 1),
+        );
+        let mut sg = make(42).with_chaos(chaos);
+        let mut clean = make(42);
+        assert_eq!(sg.next_strip(8), clean.next_strip(8));
+        let err = sg.try_next_strip(8).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::FaultInjected);
+        assert_eq!(sg.cursor(), 8, "a faulted strip must not advance the cursor");
+        // The stream resumes the identical surface after the fault.
+        assert_eq!(sg.try_next_strip(8).unwrap(), clean.next_strip(8));
+    }
+
+    #[test]
+    fn chaos_panic_at_a_strip_boundary_is_contained() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(23).with_fault(FaultSite::StripTile, FaultKind::Panic, 0),
+        );
+        let sg = make(7).with_chaos(chaos);
+        let err = sg.try_strip_at(0, 8).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::WorkerPanicked);
+        assert_eq!(sg.try_strip_at(0, 8).unwrap(), make(7).strip_at(0, 8));
     }
 }

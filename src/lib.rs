@@ -66,7 +66,23 @@
 //! with exponential backoff. With the default [`error::Budget::unlimited`]
 //! every code path is bit-identical to — and as fast as — the unbudgeted
 //! generator.
+//!
+//! ## Fault model and graceful degradation
+//!
+//! Every generator accepts a [`chaos::ChaosInjector`] via `with_chaos`: a
+//! seeded, replayable [`chaos::FaultSchedule`] injects panics, typed
+//! errors, cancellations or deadline expiry at numbered
+//! [`chaos::FaultSite`]s across the whole pipeline (parallel band slices,
+//! FFT tiles, plan-cache lookups, strip boundaries, retry backoffs,
+//! checkpoint writes). Injected faults always surface as typed
+//! [`error::RrsError`]s — never an escaped panic — and FFT backend
+//! failures degrade down the ladder
+//! `FftOverlapSave → FftComplexSerial → Direct` behind a per-generator
+//! circuit breaker ([`surface::BackendHealth`]), with the `Direct` rung
+//! reproducing the reference output bit-for-bit. The default disabled
+//! injector costs one pointer test per site and changes nothing.
 
+pub use rrs_chaos as chaos;
 pub use rrs_error as error;
 pub use rrs_fft as fft;
 pub use rrs_grid as grid;
@@ -83,11 +99,12 @@ pub use rrs_surface as surface;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule, FaultSite};
     pub use rrs_error::{Budget, CancelToken, ErrorKind, RrsError};
     pub use rrs_grid::{Grid2, Window};
     pub use rrs_io::{
-        try_write_snapshot, write_checkpoint_file, write_checkpoint_file_retrying,
-        write_snapshot, RetryPolicy, StreamCheckpoint,
+        try_write_snapshot, write_checkpoint_file, write_checkpoint_file_resilient,
+        write_checkpoint_file_retrying, write_snapshot, RetryPolicy, StreamCheckpoint,
     };
     pub use rrs_obs::Recorder;
     pub use rrs_inhomo::{
@@ -102,7 +119,7 @@ pub mod prelude {
     pub use rrs_stats::{validate_region, RegionReport};
     pub use rrs_fft::FftPlanCache;
     pub use rrs_surface::{
-        ConvBackend, ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator, KernelSizing,
-        LineGenerator, LineKernel, NoiseField, StripGenerator,
+        BackendHealth, ConvBackend, ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator,
+        KernelSizing, LineGenerator, LineKernel, NoiseField, StripGenerator,
     };
 }
