@@ -50,10 +50,17 @@ echo "== chaos torture: injected faults must surface typed or degrade bit-identi
 # bit-for-bit) — see tests/chaos_torture.rs.
 cargo test -q --test chaos_torture --locked --offline
 
+echo "== serving loopback: served windows must equal direct generation =="
+# End-to-end over real TCP: bit-identical output for every backend,
+# coalesced batches share one kernel and the plan cache, quota/queue
+# overload rejected typed before allocation, corrupt frames answered
+# with typed errors — see tests/serve_loopback.rs.
+cargo test -q --test serve_loopback --locked --offline
+
 echo "== guard: no internal calls to deprecated APIs =="
-# The positional generate_window forms are deprecated wrappers kept for
-# downstream compatibility; in-repo code must use the Window forms
-# (wrapper-equivalence tests opt out with #[allow(deprecated)]).
+# The deprecated positional generate_window wrappers have been deleted;
+# the flag now guards against reintroducing them (or calling any newly
+# deprecated API) anywhere in the workspace.
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets --locked --offline
 
 echo "== obs overhead gate: disabled recorder must be free =="
@@ -73,6 +80,14 @@ echo "== convolution backend gate: FFT must beat direct where Auto says so =="
 # the cl32/128x128 shape, or if ConvBackend::Auto resolves to a backend
 # measurably slower than the alternative — see bench_convolution.
 cargo run --release --locked --offline -p rrs-bench --bin bench_convolution
+
+echo "== serving gate: pipelined load must hit the plan cache and reject overload typed =="
+# Exits 1 if p99 latency under N pipelined connections exceeds the
+# floor, if fft/plan_hit does not exceed fft/plan_miss across coalesced
+# batches, if a served window is not bit-identical to direct generation,
+# or if an overloaded server fails to reject typed before allocating —
+# see bench_serve.
+cargo run --release --locked --offline -p rrs-bench --bin bench_serve
 
 echo "== bench smoke: reduced-scale reproduction run =="
 smoke_out="$(mktemp -d)"

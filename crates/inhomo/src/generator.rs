@@ -19,7 +19,7 @@ use rrs_grid::{Grid2, Window};
 use rrs_obs::{stage, ObsSink, Recorder};
 use rrs_spectrum::SpectrumModel;
 use rrs_surface::internal::{effective_workers, plan_tiles, FftEngine};
-use rrs_surface::{ConvBackend, ConvolutionKernel, KernelSizing, NoiseField};
+use rrs_surface::{ConvBackend, ConvolutionKernel, GenContext, KernelSizing, NoiseField};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -60,12 +60,8 @@ impl WeightMap for Box<dyn WeightMap> {
 pub struct InhomogeneousGenerator<M> {
     map: M,
     kernels: Vec<ConvolutionKernel>,
-    workers: usize,
-    obs: Recorder,
-    budget: Budget,
-    backend: ConvBackend,
+    ctx: GenContext,
     fft: FftEngine,
-    chaos: ChaosInjector,
     // Precomputed reaches for noise-window sizing.
     reach_left: i64,
     reach_right: i64,
@@ -143,15 +139,12 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
             reach_down = reach_down.max(oy + h as i64 - 1);
             reach_up = reach_up.max(-oy);
         }
+        let ctx = GenContext::new();
         Ok(Self {
             map,
             kernels,
-            workers: rrs_par::default_workers(),
-            obs: Recorder::disabled(),
-            budget: Budget::unlimited(),
-            backend: ConvBackend::default(),
-            fft: FftEngine::new(Arc::new(FftPlanCache::new())),
-            chaos: ChaosInjector::disabled(),
+            fft: FftEngine::new(Arc::clone(ctx.plan_cache())),
+            ctx,
             reach_left,
             reach_right,
             reach_down,
@@ -159,9 +152,29 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         })
     }
 
+    /// Replaces the whole [`GenContext`] at once — the single entry
+    /// point every `with_*` builder delegates to, shared verbatim with
+    /// the homogeneous generators. The FFT engine is rebuilt only when
+    /// the context carries a different plan cache, so re-applying a
+    /// context that shares the current cache keeps cached kernel
+    /// spectra warm.
+    pub fn with_context(mut self, ctx: GenContext) -> Self {
+        if !Arc::ptr_eq(self.fft.plans(), ctx.plan_cache()) {
+            self.fft = FftEngine::new(Arc::clone(ctx.plan_cache()));
+        }
+        self.ctx = ctx;
+        self
+    }
+
+    /// The generation context (workers, backend, plan cache, recorder,
+    /// budget, chaos).
+    pub fn context(&self) -> &GenContext {
+        &self.ctx
+    }
+
     /// Sets the worker count (output is identical for any value).
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.ctx = self.ctx.with_workers(workers);
         self
     }
 
@@ -170,13 +183,13 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// (`inhomo/pure_samples`, `inhomo/blended_samples`,
     /// `inhomo/kernel_evals`). Observation never changes output.
     pub fn with_recorder(mut self, obs: Recorder) -> Self {
-        self.obs = obs;
+        self.ctx = self.ctx.with_recorder(obs);
         self
     }
 
     /// The attached recorder (disabled by default).
     pub fn recorder(&self) -> &Recorder {
-        &self.obs
+        self.ctx.recorder()
     }
 
     /// Attaches a resource [`Budget`]: deadline/cancel polled at band
@@ -185,13 +198,13 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// [`Budget::unlimited`], under which generation is bit-identical to
     /// the unbudgeted path.
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.ctx = self.ctx.with_budget(budget);
         self
     }
 
     /// The attached budget ([`Budget::unlimited`] by default).
     pub fn budget(&self) -> &Budget {
-        &self.budget
+        self.ctx.budget()
     }
 
     /// Attaches a [`ChaosInjector`]: fault sites in the blending loop and
@@ -199,13 +212,13 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// under which generation is bit-identical to the un-instrumented
     /// path.
     pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
-        self.chaos = chaos;
+        self.ctx = self.ctx.with_chaos(chaos);
         self
     }
 
     /// The attached chaos injector (disabled by default).
     pub fn chaos(&self) -> &ChaosInjector {
-        &self.chaos
+        self.ctx.chaos()
     }
 
     /// Selects the convolution backend for **pure** windows — requests
@@ -222,21 +235,21 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// pure-window scan entirely and is bit-identical to previous
     /// releases.
     pub fn with_backend(mut self, backend: ConvBackend) -> Self {
-        self.backend = backend;
+        self.ctx = self.ctx.with_backend(backend);
         self
     }
 
     /// The configured backend policy ([`ConvBackend::Direct`] by default).
     pub fn backend(&self) -> ConvBackend {
-        self.backend
+        self.ctx.backend()
     }
 
     /// Shares an [`FftPlanCache`] with other generators so pure-window
     /// FFT dispatches reuse their twiddle tables (resets this generator's
     /// cached kernel spectra).
-    pub fn with_plan_cache(mut self, plans: Arc<FftPlanCache>) -> Self {
-        self.fft = FftEngine::new(plans);
-        self
+    pub fn with_plan_cache(self, plans: Arc<FftPlanCache>) -> Self {
+        let ctx = self.ctx.clone().with_plan_cache(plans);
+        self.with_context(ctx)
     }
 
     /// The plan cache backing the FFT path.
@@ -261,19 +274,20 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// oversized requests with [`RrsError::BudgetExceeded`] before the
     /// noise window or output field is materialised.
     pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
-        self.budget.check()?;
-        if self.backend != ConvBackend::Direct {
+        self.ctx.budget().check()?;
+        if self.ctx.backend() != ConvBackend::Direct {
             // The pure-window scan is O(nx·ny) map lookups; admit the
             // output footprint first so an oversized request still fails
             // the byte ceiling before any of that work runs.
-            self.budget
+            self.ctx
+                .budget()
                 .admit("inhomogeneous generation", win.nx as u128 * win.ny as u128 * 8)
                 .inspect_err(|_| {
-                    self.obs.add_counter(stage::BUDGET_REJECT, 1);
+                    self.ctx.recorder().add_counter(stage::BUDGET_REJECT, 1);
                 })?;
             if let Some(ki) = self.pure_kernel(win) {
                 let (kw, kh) = self.kernels[ki].extent();
-                let resolved = self.backend.resolve(kw, kh);
+                let resolved = self.ctx.backend().resolve(kw, kh);
                 if matches!(
                     resolved,
                     ConvBackend::FftOverlapSave | ConvBackend::FftComplexSerial
@@ -285,14 +299,14 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                         // loop below, which is the bit-exact reference
                         // evaluator and shares no FFT machinery.
                         Err(e) if is_degradable(&e) => {
-                            self.obs.add_counter(stage::CONV_DEGRADED_TO_DIRECT, 1);
+                            self.ctx.recorder().add_counter(stage::CONV_DEGRADED_TO_DIRECT, 1);
                         }
                         Err(e) => return Err(e),
                     }
                 }
             }
         }
-        self.obs.add_counter(stage::CONV_BACKEND_DIRECT, 1);
+        self.ctx.recorder().add_counter(stage::CONV_BACKEND_DIRECT, 1);
         let Window { x0, y0, nx, ny } = win;
         let wx0 = x0 - self.reach_left;
         let wy0 = y0 - self.reach_down;
@@ -301,23 +315,23 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         // Noise window plus output field, estimated in u128 before either
         // is allocated.
         let required = (ww as u128 * wh as u128 + nx as u128 * ny as u128) * 8;
-        self.budget.admit("inhomogeneous generation", required).inspect_err(|_| {
-            self.obs.add_counter(stage::BUDGET_REJECT, 1);
+        self.ctx.budget().admit("inhomogeneous generation", required).inspect_err(|_| {
+            self.ctx.recorder().add_counter(stage::BUDGET_REJECT, 1);
         })?;
-        let span = self.obs.start(stage::WINDOW_MATERIALISE);
+        let span = self.ctx.recorder().start(stage::WINDOW_MATERIALISE);
         let noise_win = noise.window(wx0, wy0, ww, wh);
-        self.obs.finish(span);
+        self.ctx.recorder().finish(span);
 
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        let span = self.obs.start(stage::CORRELATE);
+        let span = self.ctx.recorder().start(stage::CORRELATE);
         rrs_par::try_par_row_chunks_mut_chaos(
             out_slice,
             nx,
-            self.workers,
-            &self.obs,
-            &self.budget,
-            &self.chaos,
+            self.ctx.workers(),
+            self.ctx.recorder(),
+            self.ctx.budget(),
+            self.ctx.chaos(),
             |iy0, chunk| {
                 let mut weights: Vec<(usize, f64)> = Vec::with_capacity(self.kernels.len());
                 let mut pure = 0u64;
@@ -342,14 +356,14 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                         evals += weights.len() as u64;
                     }
                 }
-                let mut shard = self.obs.shard();
+                let mut shard = self.ctx.recorder().shard();
                 shard.add(stage::INHOMO_PURE_SAMPLES, pure);
                 shard.add(stage::INHOMO_BLENDED_SAMPLES, blended);
                 shard.add(stage::INHOMO_KERNEL_EVALS, evals);
-                self.obs.absorb(shard);
+                self.ctx.recorder().absorb(shard);
             },
         )?;
-        self.obs.finish(span);
+        self.ctx.recorder().finish(span);
         Ok(out)
     }
 
@@ -362,36 +376,6 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
     /// [`InhomogeneousGenerator::try_generate`].
     pub fn generate(&self, noise: &NoiseField, win: Window) -> Grid2<f64> {
         self.try_generate(noise, win).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Positional form of [`InhomogeneousGenerator::generate`].
-    ///
-    /// # Panics
-    /// Panics if the window is empty.
-    #[deprecated(note = "use generate(noise, Window)")]
-    pub fn generate_window(
-        &self,
-        noise: &NoiseField,
-        x0: i64,
-        y0: i64,
-        nx: usize,
-        ny: usize,
-    ) -> Grid2<f64> {
-        let win = Window::try_new(x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"));
-        self.generate(noise, win)
-    }
-
-    /// Positional form of [`InhomogeneousGenerator::try_generate`].
-    #[deprecated(note = "use try_generate(noise, Window)")]
-    pub fn try_generate_window(
-        &self,
-        noise: &NoiseField,
-        x0: i64,
-        y0: i64,
-        nx: usize,
-        ny: usize,
-    ) -> Result<Grid2<f64>, RrsError> {
-        self.try_generate(noise, Window::try_new(x0, y0, nx, ny)?)
     }
 
     /// Scans the window for a single pure kernel: `Some(ki)` iff every
@@ -439,17 +423,17 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         let scratch = if resolved == ConvBackend::FftComplexSerial {
             shape.scratch_samples()
         } else {
-            let w = effective_workers(shape, nx, ny, kw, kh, self.workers);
+            let w = effective_workers(shape, nx, ny, kw, kh, self.ctx.workers());
             shape.scratch_samples_real(w)
         };
         let required = (ww as u128 * wh as u128 + nx as u128 * ny as u128 + scratch) * 8;
-        self.budget.admit("inhomogeneous generation", required).inspect_err(|_| {
-            self.obs.add_counter(stage::BUDGET_REJECT, 1);
+        self.ctx.budget().admit("inhomogeneous generation", required).inspect_err(|_| {
+            self.ctx.recorder().add_counter(stage::BUDGET_REJECT, 1);
         })?;
-        let span = self.obs.start(stage::WINDOW_MATERIALISE);
+        let span = self.ctx.recorder().start(stage::WINDOW_MATERIALISE);
         let noise_win =
             noise.window(x0 - (ox + kw as i64 - 1), y0 - (oy + kh as i64 - 1), ww, wh);
-        self.obs.finish(span);
+        self.ctx.recorder().finish(span);
         // Graceful degradation: the resolved engine first, then — when it
         // fails on a worker panic or injected fault — the full-complex
         // serial baseline. Both rungs failing bubbles the (degradable)
@@ -462,9 +446,9 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
         let mut last_err = None;
         for (i, &rung) in rungs.iter().enumerate() {
             if i > 0 {
-                self.obs.add_counter(stage::CONV_DEGRADED_TO_FFT_SERIAL, 1);
+                self.ctx.recorder().add_counter(stage::CONV_DEGRADED_TO_FFT_SERIAL, 1);
             }
-            self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+            self.ctx.recorder().add_counter(stage::CONV_BACKEND_FFT, 1);
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 if rung == ConvBackend::FftComplexSerial {
                     self.fft.convolve(
@@ -475,10 +459,10 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                         wh,
                         nx,
                         ny,
-                        self.workers,
-                        &self.obs,
-                        &self.budget,
-                        &self.chaos,
+                        self.ctx.workers(),
+                        self.ctx.recorder(),
+                        self.ctx.budget(),
+                        self.ctx.chaos(),
                     )
                 } else {
                     self.fft.convolve_rfft(
@@ -489,20 +473,20 @@ impl<M: WeightMap> InhomogeneousGenerator<M> {
                         wh,
                         nx,
                         ny,
-                        self.workers,
-                        &self.obs,
-                        &self.budget,
-                        &self.chaos,
+                        self.ctx.workers(),
+                        self.ctx.recorder(),
+                        self.ctx.budget(),
+                        self.ctx.chaos(),
                     )
                 }
             }))
             .unwrap_or_else(|p| Err(RrsError::worker_panicked(0, p.as_ref())));
             match attempt {
                 Ok(out) => {
-                    let mut shard = self.obs.shard();
+                    let mut shard = self.ctx.recorder().shard();
                     shard.add(stage::INHOMO_PURE_SAMPLES, (nx * ny) as u64);
                     shard.add(stage::INHOMO_KERNEL_EVALS, (nx * ny) as u64);
-                    self.obs.absorb(shard);
+                    self.ctx.recorder().absorb(shard);
                     return Ok(out);
                 }
                 Err(e) if is_degradable(&e) => last_err = Some(e),
@@ -852,6 +836,35 @@ mod tests {
         assert_eq!(report.counter(stage::CONV_BACKEND_DIRECT), 1);
         assert_eq!(chaos.visits(FaultSite::FftTile), 2);
         assert_eq!(chaos.injected(), 2);
+    }
+
+    #[test]
+    fn with_context_matches_the_sugar_builders() {
+        let spectrum = sm(1.2, 5.0);
+        let make = || {
+            let layout = PlateLayout::new(vec![], Some(spectrum), 1.0);
+            InhomogeneousGenerator::new(layout, sizing())
+        };
+        let plans = Arc::new(FftPlanCache::new());
+        let sugar = make()
+            .with_workers(2)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_plan_cache(Arc::clone(&plans));
+        let ctx = GenContext::new()
+            .with_workers(2)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_plan_cache(Arc::clone(&plans));
+        let via_ctx = make().with_context(ctx);
+        let noise = NoiseField::new(91);
+        let win = Window::new(-6, 2, 28, 20);
+        assert_eq!(
+            sugar.try_generate(&noise, win).unwrap(),
+            via_ctx.try_generate(&noise, win).unwrap(),
+            "one with_context must equal the chained sugar builders bit-for-bit"
+        );
+        assert!(Arc::ptr_eq(via_ctx.plan_cache(), &plans));
+        assert_eq!(via_ctx.context().workers(), 2);
+        assert_eq!(via_ctx.backend(), ConvBackend::FftOverlapSave);
     }
 
     #[test]

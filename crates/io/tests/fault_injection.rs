@@ -166,7 +166,7 @@ mod retry_under_injected_faults {
     use rrs_io::checkpoint::{self, StreamCheckpoint, CHECKPOINT_LEN};
     use rrs_io::fault::FailingWriter;
     use rrs_io::retry::{RetryPolicy, Sleeper};
-    use rrs_obs::{stage, ObsSink, Recorder};
+    use rrs_obs::{stage, Recorder};
     use std::cell::RefCell;
     use std::sync::atomic::{AtomicU32, Ordering};
     use std::time::Duration;

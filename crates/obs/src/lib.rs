@@ -114,6 +114,27 @@ pub mod stage {
     /// Counter: FFT plan/kernel-spectrum cache locks found poisoned and
     /// rebuilt from empty instead of propagating the poison.
     pub const FFT_PLAN_POISONED: &str = "fft/plan_poisoned";
+    /// Counter: generate requests accepted by the serving front-end.
+    pub const SERVE_REQUESTS: &str = "serve/requests";
+    /// Counter: batches the serve scheduler dispatched (each batch
+    /// shares one generator and its warmed kernel spectrum).
+    pub const SERVE_BATCHES: &str = "serve/batches";
+    /// Counter: requests served as a follower inside a coalesced batch
+    /// (i.e. beyond the first request of each batch).
+    pub const SERVE_COALESCED: &str = "serve/coalesced";
+    /// Counter: requests rejected with a typed `Overloaded` response by
+    /// admission control, before any allocation.
+    pub const SERVE_OVERLOADED: &str = "serve/overloaded";
+    /// Counter: batch dispatches that found their generator hot in the
+    /// serve-side kernel LRU.
+    pub const SERVE_KERNEL_HIT: &str = "serve/kernel_hit";
+    /// Counter: batch dispatches that had to build a new generator
+    /// (kernel construction + spectrum warm-up).
+    pub const SERVE_KERNEL_MISS: &str = "serve/kernel_miss";
+    /// Counter: generators evicted from the serve-side kernel LRU.
+    pub const SERVE_KERNEL_EVICT: &str = "serve/kernel_evict";
+    /// Window generation performed on behalf of a served request.
+    pub const SERVE_GENERATE: &str = "serve/generate";
 }
 
 /// Destination for named counters and duration observations.

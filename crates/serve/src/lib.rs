@@ -1,0 +1,61 @@
+//! # rrs-serve — the surface-serving front-end
+//!
+//! A std-only TCP server (and matching client) that serves generated
+//! surface windows over a small length-prefixed binary protocol, turning
+//! the library's [`GenContext`](rrs_surface::GenContext)-configured
+//! generators into a multi-tenant service:
+//!
+//! * **Wire codec** ([`wire`]) — `RRSF`-framed messages with an FNV-1a
+//!   checksum (the checkpoint codec's framing discipline); malformed,
+//!   truncated or bit-flipped frames fail closed with typed errors, and
+//!   requests validate through the library's own `try_new` constructors
+//!   at decode time.
+//! * **Scheduler** ([`server`]) — a shared work queue with per-tenant
+//!   quotas enforced by [`rrs_error::Budget::admit`] *before* any
+//!   allocation, and admission-control backpressure: an overloaded
+//!   server answers with a typed [`Overloaded`] frame instead of
+//!   queueing unboundedly.
+//! * **Coalescing** — concurrent requests sharing a spectrum /
+//!   truncation / sizing / backend key are batched onto one cached
+//!   generator, so kernel construction and FFT planning amortise across
+//!   the batch; a small LRU keeps hot kernels warm and one server-wide
+//!   [`rrs_fft::FftPlanCache`] backs every backend.
+//! * **Observability** — a `Metrics` frame returns the server's
+//!   [`rrs_obs::ObsReport`] as JSON (requests, batches, coalesced jobs,
+//!   cache hits/misses/evictions, overloads, plus all library stages).
+//!
+//! Served output is bit-identical to calling the library directly with
+//! the same spectrum, sizing, seed and window — the loopback suite in
+//! the facade crate asserts it for every backend.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rrs_serve::{serve, Client, GenerateRequest, ServeConfig};
+//! use rrs_spectrum::{SpectrumModel, SurfaceParams};
+//! use rrs_grid::Window;
+//!
+//! let server = serve(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let req = GenerateRequest::new(
+//!     1,                                                        // request id
+//!     0,                                                        // tenant
+//!     42,                                                       // seed
+//!     SpectrumModel::gaussian(SurfaceParams::isotropic(1.0, 4.0)),
+//!     Window::sized(32, 32),
+//! );
+//! let surface = client.try_generate(&req).unwrap();
+//! assert_eq!(surface.shape(), (32, 32));
+//! server.shutdown();
+//! ```
+
+mod client;
+mod server;
+pub mod wire;
+
+pub use client::{Client, RemoteError, Response, ServeError};
+pub use server::{serve, ServeConfig, ServerHandle, TenantQuota};
+pub use wire::{
+    FrameKind, GenerateErr, GenerateOk, GenerateRequest, Overloaded, OverloadReason,
+    RequestOptions,
+};

@@ -1,0 +1,598 @@
+//! The serving back half: listener, admission control, work queue,
+//! request coalescing, and the kernel LRU.
+//!
+//! ## Thread model
+//!
+//! One accept thread, one reader thread per connection, and a fixed pool
+//! of worker threads. Readers do only cheap work — decode, validate,
+//! admit — and never generate; workers pull from one shared FIFO so a
+//! burst on a single connection cannot starve the others.
+//!
+//! ## Admission control
+//!
+//! Rejection happens *before* the request allocates or occupies queue
+//! space, in this order:
+//!
+//! 1. byte quota — `Budget::admit` against the tenant's
+//!    `max_request_bytes` ceiling, yielding a typed `BudgetExceeded`
+//!    error reply;
+//! 2. queue capacity — a typed [`Overloaded`] (`QueueFull`) reply;
+//! 3. tenant in-flight cap — a typed [`Overloaded`] (`TenantQuota`)
+//!    reply.
+//!
+//! ## Coalescing
+//!
+//! Requests agreeing on spectrum, truncation, sizing, backend and
+//! worker count share a [`GenKey`]. A worker that pops a job drains up
+//! to `max_batch` same-key jobs from anywhere in the queue and serves
+//! them on one cached generator, so the batch pays kernel construction
+//! and FFT planning once; the [`FftPlanCache`] is shared server-wide, so
+//! even distinct keys with matching tile shapes reuse plans.
+
+use crate::wire::{
+    self, FrameKind, GenerateErr, GenerateRequest, Overloaded, OverloadReason,
+};
+use rrs_error::{Budget, CancelToken, RrsError};
+use rrs_fft::FftPlanCache;
+use rrs_obs::report::ObsReport;
+use rrs_obs::{stage, ObsSink, Recorder};
+use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, GenContext, KernelSizing, NoiseField};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-tenant admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantQuota {
+    /// Requests a tenant may have queued or generating at once.
+    pub max_in_flight: usize,
+    /// Output-byte ceiling per request (`nx·ny·8`), enforced by
+    /// [`Budget::admit`] before the request is queued.
+    pub max_request_bytes: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self { max_in_flight: 64, max_request_bytes: 256 << 20 }
+    }
+}
+
+/// Server configuration. `Default` is sized for tests and single-host
+/// serving: 2 workers, a 64-deep queue, batches of 8, 8 cached kernels.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker (generator) threads.
+    pub workers: usize,
+    /// Work-queue capacity across all tenants.
+    pub queue_capacity: usize,
+    /// Maximum same-key jobs served per batch.
+    pub max_batch: usize,
+    /// Hot-kernel LRU capacity (distinct [`GenKey`]s).
+    pub kernel_cache_capacity: usize,
+    /// Quota for tenants without an explicit entry.
+    pub default_quota: TenantQuota,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(u64, TenantQuota)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            kernel_cache_capacity: 8,
+            default_quota: TenantQuota::default(),
+            tenant_quotas: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn quota_for(&self, tenant: u64) -> TenantQuota {
+        self.tenant_quotas
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, q)| *q)
+            .unwrap_or(self.default_quota)
+    }
+}
+
+/// The coalescing key: everything that determines the kernel and the
+/// generator configuration, as exact bit patterns. Seed and window stay
+/// out — those vary per request on one shared generator.
+///
+/// `solo` is 0 for cacheable jobs; budgeted jobs (deadline or byte
+/// ceiling) carry their request id there so they never coalesce — each
+/// needs its own one-off [`Budget`]-carrying generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct GenKey {
+    family: u8,
+    h: u64,
+    clx: u64,
+    cly: u64,
+    n: u64,
+    trunc: u64,
+    factor: u64,
+    min: u32,
+    max: u32,
+    backend: u8,
+    workers: u16,
+    solo: u64,
+}
+
+impl GenKey {
+    fn of(req: &GenerateRequest) -> Self {
+        use rrs_spectrum::{Spectrum, SpectrumModel};
+        let (family, n) = match req.spectrum {
+            SpectrumModel::Gaussian(_) => (1u8, 0.0),
+            SpectrumModel::PowerLaw(m) => (2u8, m.n),
+            SpectrumModel::Exponential(_) => (3u8, 0.0),
+        };
+        let p = req.spectrum.params();
+        let budgeted = req.options.deadline_ms != 0 || req.options.max_bytes != 0;
+        Self {
+            family,
+            h: p.h.to_bits(),
+            clx: p.clx.to_bits(),
+            cly: p.cly.to_bits(),
+            n: n.to_bits(),
+            trunc: req.truncation.unwrap_or(0.0).to_bits(),
+            factor: req.sizing_factor.to_bits(),
+            min: req.sizing_min,
+            max: req.sizing_max,
+            backend: backend_wire(req.options.backend),
+            workers: req.options.workers,
+            solo: if budgeted { req.request_id } else { 0 },
+        }
+    }
+
+    /// The cache key ignoring `solo` — budgeted jobs still share the
+    /// cached kernel underneath their one-off generator.
+    fn cache_key(mut self) -> Self {
+        self.solo = 0;
+        self
+    }
+}
+
+fn backend_wire(b: rrs_surface::ConvBackend) -> u8 {
+    match b {
+        rrs_surface::ConvBackend::Direct => 0,
+        rrs_surface::ConvBackend::FftOverlapSave => 1,
+        rrs_surface::ConvBackend::FftComplexSerial => 2,
+        rrs_surface::ConvBackend::Auto => 3,
+        // Non-exhaustive upstream: a new variant needs a wire number.
+        _ => panic!("backend {b:?} has no wire encoding"),
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    key: GenKey,
+    req: GenerateRequest,
+    conn: Arc<Mutex<TcpStream>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Queued-or-generating request count per tenant.
+    in_flight: HashMap<u64, usize>,
+}
+
+struct CacheEntry {
+    generator: Arc<ConvolutionGenerator>,
+    last_used: u64,
+}
+
+/// The hot-kernel LRU: [`GenKey`] → shared generator. Capacity is
+/// small (kernels are the expensive artefact; each holds a weights grid
+/// plus warm FFT state), eviction is exact LRU by use tick.
+#[derive(Default)]
+struct KernelCache {
+    entries: HashMap<GenKey, CacheEntry>,
+    tick: u64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    obs: Recorder,
+    plans: Arc<FftPlanCache>,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    cancel: CancelToken,
+    cache: Mutex<KernelCache>,
+    /// Socket clones for shutdown (closing one closes the reader's
+    /// blocked `read` too — clones share the underlying socket).
+    conns: Mutex<Vec<TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Looks up (or builds) the cached generator for `key`. The build
+    /// happens outside the cache lock — a concurrent miss on the same
+    /// key may build twice, but admission never blocks behind kernel
+    /// construction.
+    fn generator_for(&self, key: GenKey, req: &GenerateRequest) -> Result<Arc<ConvolutionGenerator>, RrsError> {
+        let key = key.cache_key();
+        {
+            let mut cache = self.cache.lock().expect("kernel cache poisoned");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(&key) {
+                entry.last_used = tick;
+                self.obs.add_counter(stage::SERVE_KERNEL_HIT, 1);
+                return Ok(Arc::clone(&entry.generator));
+            }
+        }
+        self.obs.add_counter(stage::SERVE_KERNEL_MISS, 1);
+        let generator = Arc::new(self.build_generator(req)?);
+        let mut cache = self.cache.lock().expect("kernel cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache.entries.insert(key, CacheEntry { generator: Arc::clone(&generator), last_used: tick });
+        while cache.entries.len() > self.config.kernel_cache_capacity.max(1) {
+            let coldest = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache");
+            cache.entries.remove(&coldest);
+            self.obs.add_counter(stage::SERVE_KERNEL_EVICT, 1);
+        }
+        Ok(generator)
+    }
+
+    fn build_generator(&self, req: &GenerateRequest) -> Result<ConvolutionGenerator, RrsError> {
+        let sizing = KernelSizing::Auto {
+            factor: req.sizing_factor,
+            min: req.sizing_min as usize,
+            max: req.sizing_max as usize,
+        };
+        let mut kernel = ConvolutionKernel::build_observed(&req.spectrum, sizing, &self.obs);
+        if let Some(eps) = req.truncation {
+            kernel = kernel.try_truncated_observed(eps, &self.obs)?;
+        }
+        let workers = if req.options.workers == 0 {
+            rrs_par::default_workers()
+        } else {
+            req.options.workers as usize
+        };
+        let ctx = GenContext::new()
+            .with_backend(req.options.backend)
+            .with_workers(workers)
+            .with_plan_cache(Arc::clone(&self.plans))
+            .with_recorder(self.obs.clone());
+        Ok(ConvolutionGenerator::from_kernel(kernel).with_context(ctx))
+    }
+
+    fn finish_job(&self, tenant: u64) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        if let Some(n) = q.in_flight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                q.in_flight.remove(&tenant);
+            }
+        }
+    }
+}
+
+/// Writes a frame to a connection, ignoring a dead peer (the job still
+/// completes server-side either way).
+fn respond(conn: &Mutex<TcpStream>, kind: FrameKind, payload: &[u8]) {
+    let mut stream = conn.lock().expect("connection poisoned");
+    let _ = wire::write_frame(&mut *stream, kind, payload);
+}
+
+fn reader_loop(shared: &Shared, stream: TcpStream) {
+    let conn = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut r = BufReader::new(stream);
+    loop {
+        match wire::read_frame(&mut r) {
+            Ok(None) => return,
+            Ok(Some((FrameKind::Ping, _))) => respond(&conn, FrameKind::Pong, &[]),
+            Ok(Some((FrameKind::Metrics, _))) => {
+                let json = shared.obs.report().to_json("");
+                respond(&conn, FrameKind::MetricsReport, json.as_bytes());
+            }
+            Ok(Some((FrameKind::Generate, payload))) => handle_generate(shared, &conn, &payload),
+            Ok(Some((kind, _))) => {
+                // A response kind arriving at the server is a protocol
+                // violation; answer typed and hang up.
+                let e = RrsError::corrupt_snapshot(format!("unexpected frame kind {kind:?}"));
+                respond(&conn, FrameKind::GenerateErr, &GenerateErr::from_error(0, &e).encode());
+                return;
+            }
+            Err(e) => {
+                // Fail closed: a malformed frame gets a typed reply and
+                // the connection closes (the stream may be mid-frame, so
+                // no further decode is safe).
+                respond(&conn, FrameKind::GenerateErr, &GenerateErr::from_error(0, &e).encode());
+                return;
+            }
+        }
+        if shared.cancel.is_cancelled() {
+            return;
+        }
+    }
+}
+
+fn handle_generate(shared: &Shared, conn: &Arc<Mutex<TcpStream>>, payload: &[u8]) {
+    shared.obs.add_counter(stage::SERVE_REQUESTS, 1);
+    let req = match GenerateRequest::decode(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            let id = GenerateRequest::peek_request_id(payload);
+            respond(conn, FrameKind::GenerateErr, &GenerateErr::from_error(id, &e).encode());
+            return;
+        }
+    };
+    let quota = shared.config.quota_for(req.tenant);
+    // Byte quota first — before the request touches the queue, and long
+    // before any allocation matching its size exists.
+    let gate = Budget::unlimited().with_max_bytes(quota.max_request_bytes);
+    if let Err(e) = gate.admit("serve/window", req.output_bytes()) {
+        respond(
+            conn,
+            FrameKind::GenerateErr,
+            &GenerateErr::from_error(req.request_id, &e).encode(),
+        );
+        return;
+    }
+    let job = Job { key: GenKey::of(&req), req, conn: Arc::clone(conn) };
+    let rejection = {
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        if q.jobs.len() >= shared.config.queue_capacity {
+            Some(OverloadReason::QueueFull)
+        } else if q.in_flight.get(&job.req.tenant).copied().unwrap_or(0) >= quota.max_in_flight {
+            Some(OverloadReason::TenantQuota)
+        } else {
+            *q.in_flight.entry(job.req.tenant).or_insert(0) += 1;
+            q.jobs.push_back(job);
+            shared.ready.notify_one();
+            None
+        }
+    };
+    if let Some(reason) = rejection {
+        shared.obs.add_counter(stage::SERVE_OVERLOADED, 1);
+        let depth = shared.queue.lock().expect("queue poisoned").jobs.len() as u32;
+        let over = Overloaded { request_id: req.request_id, reason, queue_depth: depth };
+        respond(conn, FrameKind::Overloaded, &over.encode());
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            let first = loop {
+                if shared.cancel.is_cancelled() {
+                    return;
+                }
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                q = shared.ready.wait(q).expect("queue poisoned");
+            };
+            // Drain same-key jobs from anywhere in the queue: they share
+            // one generator, so serving them together amortises the
+            // kernel and plan warm-up across the whole batch.
+            let key = first.key;
+            let mut batch = vec![first];
+            let mut i = 0;
+            while batch.len() < shared.config.max_batch.max(1) && i < q.jobs.len() {
+                if q.jobs[i].key == key {
+                    batch.push(q.jobs.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+            batch
+        };
+        serve_batch(shared, batch);
+    }
+}
+
+fn serve_batch(shared: &Shared, batch: Vec<Job>) {
+    shared.obs.add_counter(stage::SERVE_BATCHES, 1);
+    if batch.len() > 1 {
+        shared.obs.add_counter(stage::SERVE_COALESCED, (batch.len() - 1) as u64);
+    }
+    let lead = &batch[0].req;
+    let budgeted = lead.options.deadline_ms != 0 || lead.options.max_bytes != 0;
+    let generator: Result<Arc<ConvolutionGenerator>, RrsError> = if budgeted {
+        // One-off generator wearing this request's Budget, sharing the
+        // cached kernel and the server plan cache underneath.
+        shared.generator_for(batch[0].key, lead).and_then(|cached| {
+            let mut budget = Budget::unlimited();
+            if lead.options.deadline_ms != 0 {
+                budget = budget.with_timeout(Duration::from_millis(lead.options.deadline_ms as u64));
+            }
+            if lead.options.max_bytes != 0 {
+                budget = budget.with_max_bytes(lead.options.max_bytes as usize);
+            }
+            let ctx = cached.context().clone().with_budget(budget);
+            Ok(Arc::new(
+                ConvolutionGenerator::from_kernel(cached.kernel().clone()).with_context(ctx),
+            ))
+        })
+    } else {
+        shared.generator_for(batch[0].key, lead)
+    };
+    for job in batch {
+        shared.obs.add_counter(stage::SERVE_GENERATE, 1);
+        let outcome = generator
+            .as_ref()
+            .map_err(|e| RrsError::corrupt_snapshot(e.to_string()).with_context("kernel build"))
+            .and_then(|g| g.try_generate(&NoiseField::new(job.req.seed), job.req.window));
+        match outcome {
+            Ok(grid) => {
+                let ok = wire::GenerateOk { request_id: job.req.request_id, grid };
+                respond(&job.conn, FrameKind::GenerateOk, &ok.encode());
+            }
+            Err(e) => {
+                let err = GenerateErr::from_error(job.req.request_id, &e);
+                respond(&job.conn, FrameKind::GenerateErr, &err.encode());
+            }
+        }
+        shared.finish_job(job.req.tenant);
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down; call
+/// [`ServerHandle::shutdown`] to do it explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's metrics — the same report the
+    /// `Metrics` frame serves remotely.
+    pub fn report(&self) -> ObsReport {
+        self.shared.obs.report()
+    }
+
+    /// Stops accepting, closes every connection, drains the worker pool
+    /// and joins all threads. Queued-but-unserved jobs are dropped.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.shared.cancel.cancel();
+        // Wake every parked worker so it can observe the cancel flag,
+        // and unblock the accept loop with a throwaway connection.
+        self.shared.ready.notify_all();
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Accept loop is down; no new readers can appear. Close every
+        // socket so blocked readers return, then join them.
+        for conn in self.shared.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let readers: Vec<_> =
+            self.shared.readers.lock().expect("readers poisoned").drain(..).collect();
+        for t in readers {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds and starts a server. Worker threads and the accept loop spin
+/// up before this returns; the handle owns them.
+pub fn serve(config: ServeConfig) -> Result<ServerHandle, RrsError> {
+    let listener = TcpListener::bind(&config.addr).map_err(RrsError::Io)?;
+    let addr = listener.local_addr().map_err(RrsError::Io)?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        config,
+        obs: Recorder::enabled(),
+        plans: Arc::new(FftPlanCache::new()),
+        queue: Mutex::new(QueueState::default()),
+        ready: Condvar::new(),
+        cancel: CancelToken::new(),
+        cache: Mutex::new(KernelCache::default()),
+        conns: Mutex::new(Vec::new()),
+        readers: Mutex::new(Vec::new()),
+    });
+    let mut threads = Vec::with_capacity(workers + 1);
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.cancel.is_cancelled() {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().expect("conns poisoned").push(clone);
+                }
+                let inner = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || reader_loop(&inner, stream));
+                shared.readers.lock().expect("readers poisoned").push(handle);
+            }
+        }));
+    }
+    Ok(ServerHandle { addr, shared, threads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_spectrum::{SpectrumModel, SurfaceParams};
+    use rrs_grid::Window;
+
+    fn key_of(req: &GenerateRequest) -> GenKey {
+        GenKey::of(req)
+    }
+
+    #[test]
+    fn coalescing_key_ignores_seed_and_window_but_not_budget() {
+        let base = GenerateRequest::new(
+            1,
+            0,
+            11,
+            SpectrumModel::gaussian(SurfaceParams::isotropic(1.0, 4.0)),
+            Window::sized(16, 16),
+        );
+        let mut other = base;
+        other.request_id = 2;
+        other.seed = 99;
+        other.window = Window::new(40, -3, 8, 24);
+        assert_eq!(key_of(&base), key_of(&other), "seed/window must coalesce");
+
+        let truncated = base.with_truncation(1e-3);
+        assert_ne!(key_of(&base), key_of(&truncated), "truncation changes the kernel");
+
+        let budgeted = base.with_deadline_ms(10);
+        assert_ne!(key_of(&base), key_of(&budgeted), "budgeted jobs never coalesce");
+        assert_eq!(
+            key_of(&budgeted).cache_key(),
+            key_of(&base),
+            "but they share the cached kernel underneath"
+        );
+    }
+
+    #[test]
+    fn quota_lookup_falls_back_to_default() {
+        let mut config = ServeConfig::default();
+        config.tenant_quotas =
+            vec![(7, TenantQuota { max_in_flight: 1, max_request_bytes: 64 })];
+        assert_eq!(config.quota_for(7).max_in_flight, 1);
+        assert_eq!(config.quota_for(8).max_in_flight, config.default_quota.max_in_flight);
+    }
+}

@@ -1,0 +1,855 @@
+//! The serving wire codec: framing, request/response payloads, and the
+//! stable error-kind numbering.
+//!
+//! Every message on a serving connection is one frame:
+//!
+//! ```text
+//! magic  b"RRSF"                      4 bytes
+//! kind   FrameKind                    1 byte
+//! len    payload length, u32 LE       4 bytes
+//! payload                             len bytes
+//! crc    FNV-1a(kind ‖ len ‖ payload) 8 bytes LE
+//! ```
+//!
+//! The framing discipline mirrors the checkpoint codec (PR 4): a magic
+//! prefix so a stray connection fails immediately, an explicit length so
+//! the reader can refuse oversized frames *before* allocating, and a
+//! trailing FNV-1a checksum over everything after the magic so a flipped
+//! bit anywhere in the frame fails closed with a typed
+//! [`RrsError::CorruptSnapshot`] instead of decoding garbage. Payload
+//! integers are little-endian; floats travel as IEEE-754 bit patterns so
+//! a request is reproduced bit-exactly on the far side.
+//!
+//! Decoding is validating: a [`GenerateRequest`] only constructs through
+//! the same `try_new` constructors the library itself uses
+//! ([`SurfaceParams::try_new`], [`PowerLaw::try_new`],
+//! [`Window::try_new`]), so no malformed parameter survives past the
+//! codec boundary.
+
+use rrs_error::{ErrorKind, RrsError};
+use rrs_grid::{Grid2, Window};
+use rrs_spectrum::{PowerLaw, SpectrumModel, SurfaceParams};
+use rrs_surface::ConvBackend;
+use std::io::{Read, Write};
+
+/// Frame prefix — "RRS Frame".
+pub const MAGIC: [u8; 4] = *b"RRSF";
+
+/// Hard ceiling on a frame payload (256 MiB), checked against the
+/// declared length *before* any allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 256 << 20;
+
+/// FNV-1a 64-bit — the workspace's framing checksum (same constants as
+/// the checkpoint codec).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The message kinds of the serving protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: one [`GenerateRequest`].
+    Generate = 1,
+    /// Server → client: a generated window ([`GenerateOk`]).
+    GenerateOk = 2,
+    /// Server → client: a typed failure ([`GenerateErr`]).
+    GenerateErr = 3,
+    /// Server → client: admission control rejected the request before
+    /// any work was queued ([`Overloaded`]).
+    Overloaded = 4,
+    /// Client → server: request the metrics report (empty payload).
+    Metrics = 5,
+    /// Server → client: the [`rrs_obs::ObsReport`] as UTF-8 JSON.
+    MetricsReport = 6,
+    /// Client → server: liveness probe (empty payload).
+    Ping = 7,
+    /// Server → client: liveness reply (empty payload).
+    Pong = 8,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Result<Self, RrsError> {
+        Ok(match v {
+            1 => Self::Generate,
+            2 => Self::GenerateOk,
+            3 => Self::GenerateErr,
+            4 => Self::Overloaded,
+            5 => Self::Metrics,
+            6 => Self::MetricsReport,
+            7 => Self::Ping,
+            8 => Self::Pong,
+            other => {
+                return Err(RrsError::corrupt_snapshot(format!("unknown frame kind {other}")))
+            }
+        })
+    }
+}
+
+/// Writes one frame. The only I/O errors are the writer's own.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), RrsError> {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD, "oversized frame");
+    let len = payload.len() as u32;
+    let mut head = [0u8; 5];
+    head[0] = kind as u8;
+    head[1..5].copy_from_slice(&len.to_le_bytes());
+    let mut crc = fnv1a(&head);
+    // Continue the running hash over the payload (FNV-1a is byte-serial).
+    for &b in payload {
+        crc ^= u64::from(b);
+        crc = crc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // One contiguous write: a frame split across small TCP segments
+    // trips Nagle + delayed-ACK stalls (tens of ms per round trip).
+    let mut frame = Vec::with_capacity(17 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&head);
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&frame).map_err(RrsError::Io)?;
+    w.flush().map_err(RrsError::Io)?;
+    Ok(())
+}
+
+/// Reads one frame, failing closed.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer hung
+/// up between messages). Every other irregularity — EOF mid-frame, a bad
+/// magic, an oversized declared length, a checksum mismatch, an unknown
+/// kind — is a typed error: the caller never sees a partially decoded
+/// frame. The length check happens before the payload buffer is
+/// allocated, so a hostile 4 GiB length costs nothing.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(FrameKind, Vec<u8>)>, RrsError> {
+    let mut magic = [0u8; 4];
+    match read_exact_or_eof(r, &mut magic)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    if magic != MAGIC {
+        return Err(RrsError::corrupt_snapshot(format!(
+            "bad frame magic {magic:02x?}, expected {MAGIC:02x?}"
+        )));
+    }
+    let mut head = [0u8; 5];
+    read_fully(r, &mut head)?;
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(RrsError::corrupt_snapshot(format!(
+            "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte ceiling"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_fully(r, &mut payload)?;
+    let mut crc_bytes = [0u8; 8];
+    read_fully(r, &mut crc_bytes)?;
+    let mut crc = fnv1a(&head);
+    for &b in &payload {
+        crc ^= u64::from(b);
+        crc = crc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if crc != u64::from_le_bytes(crc_bytes) {
+        return Err(RrsError::corrupt_snapshot("frame checksum mismatch"));
+    }
+    let kind = FrameKind::from_u8(head[0])?;
+    Ok(Some((kind, payload)))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Fills `buf`, distinguishing EOF-before-anything from EOF-mid-read.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, RrsError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Err(RrsError::corrupt_snapshot("connection closed mid-frame")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(RrsError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<(), RrsError> {
+    match read_exact_or_eof(r, buf)? {
+        ReadOutcome::Full => Ok(()),
+        ReadOutcome::Eof => Err(RrsError::corrupt_snapshot("connection closed mid-frame")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload cursor
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked payload reader: every short read is a typed
+/// [`RrsError::CorruptSnapshot`], and [`Cursor::finish`] rejects
+/// trailing bytes so payload lengths cannot silently drift between
+/// protocol revisions.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RrsError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            RrsError::corrupt_snapshot(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            ))
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RrsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RrsError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take(2)")))
+    }
+
+    fn u32(&mut self) -> Result<u32, RrsError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
+    }
+
+    fn u64(&mut self) -> Result<u64, RrsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+    }
+
+    fn i64(&mut self) -> Result<i64, RrsError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+    }
+
+    fn f64(&mut self) -> Result<f64, RrsError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), RrsError> {
+        if self.pos != self.buf.len() {
+            return Err(RrsError::corrupt_snapshot(format!(
+                "payload has {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error-kind numbering
+// ---------------------------------------------------------------------------
+
+/// Stable on-wire numbering of [`ErrorKind`] — part of the protocol, so
+/// the discriminants never change even if the enum is reordered.
+pub fn error_kind_to_wire(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::InvalidParam => 1,
+        ErrorKind::ShapeMismatch => 2,
+        ErrorKind::NonFinite => 3,
+        ErrorKind::WorkerPanicked => 4,
+        ErrorKind::CorruptSnapshot => 5,
+        ErrorKind::Io => 6,
+        ErrorKind::Cancelled => 7,
+        ErrorKind::DeadlineExceeded => 8,
+        ErrorKind::BudgetExceeded => 9,
+        ErrorKind::FaultInjected => 10,
+    }
+}
+
+/// Inverse of [`error_kind_to_wire`]; unknown numbers fail closed.
+pub fn error_kind_from_wire(v: u8) -> Result<ErrorKind, RrsError> {
+    Ok(match v {
+        1 => ErrorKind::InvalidParam,
+        2 => ErrorKind::ShapeMismatch,
+        3 => ErrorKind::NonFinite,
+        4 => ErrorKind::WorkerPanicked,
+        5 => ErrorKind::CorruptSnapshot,
+        6 => ErrorKind::Io,
+        7 => ErrorKind::Cancelled,
+        8 => ErrorKind::DeadlineExceeded,
+        9 => ErrorKind::BudgetExceeded,
+        10 => ErrorKind::FaultInjected,
+        other => return Err(RrsError::corrupt_snapshot(format!("unknown error kind {other}"))),
+    })
+}
+
+fn backend_to_wire(b: ConvBackend) -> u8 {
+    match b {
+        ConvBackend::Direct => 0,
+        ConvBackend::FftOverlapSave => 1,
+        ConvBackend::FftComplexSerial => 2,
+        ConvBackend::Auto => 3,
+        // `ConvBackend` is non-exhaustive: a future variant must get its
+        // own wire number before it can be served.
+        _ => panic!("backend {b:?} has no wire encoding"),
+    }
+}
+
+fn backend_from_wire(v: u8) -> Result<ConvBackend, RrsError> {
+    Ok(match v {
+        0 => ConvBackend::Direct,
+        1 => ConvBackend::FftOverlapSave,
+        2 => ConvBackend::FftComplexSerial,
+        3 => ConvBackend::Auto,
+        other => return Err(RrsError::corrupt_snapshot(format!("unknown backend {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generate request
+// ---------------------------------------------------------------------------
+
+/// Per-request execution options (everything beyond the surface itself).
+///
+/// Zero means "unset": the server substitutes its own defaults. A
+/// request with a deadline or byte ceiling runs on a one-off generator
+/// carrying that [`rrs_error::Budget`] (still sharing the server's
+/// kernel and FFT-plan caches); all other requests run on the cached
+/// generator directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestOptions {
+    /// Convolution engine (`Direct` by default, like the library).
+    pub backend: ConvBackend,
+    /// Worker threads inside the generator; 0 = the server's default.
+    pub workers: u16,
+    /// Per-request deadline in milliseconds from processing start; 0 =
+    /// none.
+    pub deadline_ms: u32,
+    /// Per-request byte ceiling fed to `Budget::with_max_bytes`; 0 =
+    /// none.
+    pub max_bytes: u64,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        Self { backend: ConvBackend::Direct, workers: 0, deadline_ms: 0, max_bytes: 0 }
+    }
+}
+
+/// One surface-generation request — the wire-decodable form of "this
+/// spectrum, this seed, this window, these options".
+///
+/// The spectrum/truncation/sizing/backend/workers fields form the
+/// server's coalescing key: concurrent requests agreeing on all of them
+/// share one cached kernel and generator, so only the first pays kernel
+/// construction and FFT planning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenerateRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Tenant id for quota accounting.
+    pub tenant: u64,
+    /// Noise-field seed — same seed + same request ⇒ bit-identical
+    /// surface, on any server.
+    pub seed: u64,
+    /// The spectrum family and parameters.
+    pub spectrum: SpectrumModel,
+    /// Spectral truncation tolerance `0 < ε < 1`, or `None` for the
+    /// full kernel.
+    pub truncation: Option<f64>,
+    /// Kernel support factor in correlation lengths
+    /// ([`rrs_surface::KernelSizing::Auto`]).
+    pub sizing_factor: f64,
+    /// Minimum kernel lattice size per axis.
+    pub sizing_min: u32,
+    /// Maximum kernel lattice size per axis.
+    pub sizing_max: u32,
+    /// The output window on the infinite lattice.
+    pub window: Window,
+    /// Execution options.
+    pub options: RequestOptions,
+}
+
+impl GenerateRequest {
+    /// A request with the library's default sizing (factor 8, 16–2048
+    /// samples) and default options.
+    pub fn new(request_id: u64, tenant: u64, seed: u64, spectrum: SpectrumModel, window: Window) -> Self {
+        Self {
+            request_id,
+            tenant,
+            seed,
+            spectrum,
+            truncation: None,
+            sizing_factor: 8.0,
+            sizing_min: 16,
+            sizing_max: 2048,
+            window,
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// Sets the spectral truncation tolerance.
+    pub fn with_truncation(mut self, epsilon: f64) -> Self {
+        self.truncation = Some(epsilon);
+        self
+    }
+
+    /// Sets the auto-sizing envelope.
+    pub fn with_sizing(mut self, factor: f64, min: u32, max: u32) -> Self {
+        self.sizing_factor = factor;
+        self.sizing_min = min;
+        self.sizing_max = max;
+        self
+    }
+
+    /// Selects the convolution backend.
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Sets the in-generator worker count (0 = server default).
+    pub fn with_workers(mut self, workers: u16) -> Self {
+        self.options.workers = workers;
+        self
+    }
+
+    /// Arms a per-request deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, deadline_ms: u32) -> Self {
+        self.options.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Arms a per-request byte ceiling.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.options.max_bytes = max_bytes;
+        self
+    }
+
+    /// The output bytes this request will materialise (`nx·ny·8`),
+    /// widened so quota arithmetic cannot overflow.
+    pub fn output_bytes(&self) -> u128 {
+        self.window.nx as u128 * self.window.ny as u128 * 8
+    }
+
+    /// Encodes the fixed-size 120-byte payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(120);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&self.tenant.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        let (family, params, n) = match self.spectrum {
+            SpectrumModel::Gaussian(m) => (1u8, m.params, 0.0),
+            SpectrumModel::PowerLaw(m) => (2u8, m.params, m.n),
+            SpectrumModel::Exponential(m) => (3u8, m.params, 0.0),
+        };
+        out.push(family);
+        for v in [params.h, params.clx, params.cly, n] {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.truncation.unwrap_or(0.0).to_bits().to_le_bytes());
+        out.extend_from_slice(&self.sizing_factor.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.sizing_min.to_le_bytes());
+        out.extend_from_slice(&self.sizing_max.to_le_bytes());
+        out.extend_from_slice(&self.window.x0.to_le_bytes());
+        out.extend_from_slice(&self.window.y0.to_le_bytes());
+        out.extend_from_slice(&(self.window.nx as u32).to_le_bytes());
+        out.extend_from_slice(&(self.window.ny as u32).to_le_bytes());
+        out.push(backend_to_wire(self.options.backend));
+        out.extend_from_slice(&self.options.workers.to_le_bytes());
+        out.extend_from_slice(&self.options.deadline_ms.to_le_bytes());
+        out.extend_from_slice(&self.options.max_bytes.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a request payload.
+    ///
+    /// Validation goes through the library's own constructors — a
+    /// decoded request is exactly as trustworthy as one built in
+    /// process, and an invalid one fails here with the same typed
+    /// [`RrsError::InvalidParam`] the library would raise.
+    pub fn decode(payload: &[u8]) -> Result<Self, RrsError> {
+        let mut c = Cursor::new(payload);
+        let request_id = c.u64()?;
+        let tenant = c.u64()?;
+        let seed = c.u64()?;
+        let family = c.u8()?;
+        let h = c.f64()?;
+        let clx = c.f64()?;
+        let cly = c.f64()?;
+        let n = c.f64()?;
+        let params = SurfaceParams::try_new(h, clx, cly)?;
+        let spectrum = match family {
+            1 => SpectrumModel::Gaussian(rrs_spectrum::Gaussian::new(params)),
+            2 => SpectrumModel::PowerLaw(PowerLaw::try_new(params, n)?),
+            3 => SpectrumModel::Exponential(rrs_spectrum::Exponential::new(params)),
+            other => {
+                return Err(RrsError::corrupt_snapshot(format!(
+                    "unknown spectrum family {other}"
+                )))
+            }
+        };
+        let trunc_raw = c.f64()?;
+        let truncation = if trunc_raw == 0.0 {
+            None
+        } else if trunc_raw.is_finite() && trunc_raw > 0.0 && trunc_raw < 1.0 {
+            Some(trunc_raw)
+        } else {
+            return Err(RrsError::invalid_param(
+                "truncation",
+                format!("truncation must satisfy 0 < ε < 1 (0 = none), got {trunc_raw}"),
+            ));
+        };
+        let sizing_factor = c.f64()?;
+        if !(sizing_factor.is_finite() && sizing_factor > 0.0) {
+            return Err(RrsError::invalid_param(
+                "sizing_factor",
+                format!("support factor must be finite and positive, got {sizing_factor}"),
+            ));
+        }
+        let sizing_min = c.u32()?;
+        let sizing_max = c.u32()?;
+        if sizing_min == 0 || sizing_min > sizing_max {
+            return Err(RrsError::invalid_param(
+                "sizing",
+                format!("sizing bounds must satisfy 1 <= min <= max, got {sizing_min}..{sizing_max}"),
+            ));
+        }
+        let x0 = c.i64()?;
+        let y0 = c.i64()?;
+        let nx = c.u32()? as usize;
+        let ny = c.u32()? as usize;
+        let window = Window::try_new(x0, y0, nx, ny)?;
+        let backend = backend_from_wire(c.u8()?)?;
+        let workers = c.u16()?;
+        let deadline_ms = c.u32()?;
+        let max_bytes = c.u64()?;
+        c.finish()?;
+        Ok(Self {
+            request_id,
+            tenant,
+            seed,
+            spectrum,
+            truncation,
+            sizing_factor,
+            sizing_min,
+            sizing_max,
+            window,
+            options: RequestOptions { backend, workers, deadline_ms, max_bytes },
+        })
+    }
+
+    /// Best-effort request id from a payload that failed to decode, so
+    /// the error reply still correlates (0 when even that is missing).
+    pub fn peek_request_id(payload: &[u8]) -> u64 {
+        payload
+            .get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// A served surface window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateOk {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// The generated heights, row-major, bit-identical to the direct
+    /// library call.
+    pub grid: Grid2<f64>,
+}
+
+impl GenerateOk {
+    /// Encodes `request_id | nx | ny | data`.
+    pub fn encode(&self) -> Vec<u8> {
+        let (nx, ny) = self.grid.shape();
+        let mut out = Vec::with_capacity(16 + self.grid.len() * 8);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(nx as u32).to_le_bytes());
+        out.extend_from_slice(&(ny as u32).to_le_bytes());
+        for &v in self.grid.as_slice() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes, validating the declared shape against the actual byte
+    /// count.
+    pub fn decode(payload: &[u8]) -> Result<Self, RrsError> {
+        let mut c = Cursor::new(payload);
+        let request_id = c.u64()?;
+        let nx = c.u32()? as usize;
+        let ny = c.u32()? as usize;
+        let elems = nx.checked_mul(ny).ok_or_else(|| {
+            RrsError::corrupt_snapshot(format!("grid shape {nx}x{ny} overflows"))
+        })?;
+        let mut data = Vec::with_capacity(elems);
+        for _ in 0..elems {
+            data.push(c.f64()?);
+        }
+        c.finish()?;
+        Ok(Self { request_id, grid: Grid2::try_from_vec(nx, ny, data)? })
+    }
+}
+
+/// A typed generation failure, round-tripping the [`ErrorKind`] and —
+/// for budget rejections — the byte accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateErr {
+    /// Echo of the request id (0 when the request never decoded).
+    pub request_id: u64,
+    /// The stable error kind.
+    pub kind: ErrorKind,
+    /// `BudgetExceeded` only: bytes the request needed.
+    pub required_bytes: u64,
+    /// `BudgetExceeded` only: the ceiling it exceeded.
+    pub max_bytes: u64,
+    /// Human-readable detail (the server-side `Display` rendering).
+    pub message: String,
+}
+
+impl GenerateErr {
+    /// Builds the wire error from a server-side [`RrsError`].
+    pub fn from_error(request_id: u64, e: &RrsError) -> Self {
+        let (required_bytes, max_bytes) = match e.root_cause() {
+            RrsError::BudgetExceeded { required_bytes, max_bytes, .. } => {
+                (*required_bytes as u64, *max_bytes as u64)
+            }
+            _ => (0, 0),
+        };
+        Self { request_id, kind: e.kind(), required_bytes, max_bytes, message: e.to_string() }
+    }
+
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let msg = self.message.as_bytes();
+        let mut out = Vec::with_capacity(29 + msg.len());
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(error_kind_to_wire(self.kind));
+        out.extend_from_slice(&self.required_bytes.to_le_bytes());
+        out.extend_from_slice(&self.max_bytes.to_le_bytes());
+        out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        out.extend_from_slice(msg);
+        out
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, RrsError> {
+        let mut c = Cursor::new(payload);
+        let request_id = c.u64()?;
+        let kind = error_kind_from_wire(c.u8()?)?;
+        let required_bytes = c.u64()?;
+        let max_bytes = c.u64()?;
+        let msg_len = c.u32()? as usize;
+        let message = String::from_utf8(c.take(msg_len)?.to_vec())
+            .map_err(|_| RrsError::corrupt_snapshot("error message is not UTF-8"))?;
+        c.finish()?;
+        Ok(Self { request_id, kind, required_bytes, max_bytes, message })
+    }
+}
+
+/// Why admission control rejected a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The global work queue is at capacity.
+    QueueFull,
+    /// The tenant is at its in-flight request cap.
+    TenantQuota,
+}
+
+/// An admission-control rejection — sent *before* the request consumes
+/// queue space or allocates anything, so an overloaded server stays
+/// responsive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// What limit was hit.
+    pub reason: OverloadReason,
+    /// Queue depth at rejection time (a backoff hint).
+    pub queue_depth: u32,
+}
+
+impl Overloaded {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(match self.reason {
+            OverloadReason::QueueFull => 0,
+            OverloadReason::TenantQuota => 1,
+        });
+        out.extend_from_slice(&self.queue_depth.to_le_bytes());
+        out
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, RrsError> {
+        let mut c = Cursor::new(payload);
+        let request_id = c.u64()?;
+        let reason = match c.u8()? {
+            0 => OverloadReason::QueueFull,
+            1 => OverloadReason::TenantQuota,
+            other => {
+                return Err(RrsError::corrupt_snapshot(format!(
+                    "unknown overload reason {other}"
+                )))
+            }
+        };
+        let queue_depth = c.u32()?;
+        c.finish()?;
+        Ok(Self { request_id, reason, queue_depth })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> GenerateRequest {
+        GenerateRequest::new(
+            7,
+            3,
+            42,
+            SpectrumModel::power_law(SurfaceParams::isotropic(1.5, 6.0), 2.0),
+            Window::new(-4, 9, 32, 24),
+        )
+        .with_truncation(1e-3)
+        .with_sizing(6.0, 8, 128)
+        .with_backend(ConvBackend::FftOverlapSave)
+        .with_workers(2)
+        .with_deadline_ms(5_000)
+        .with_max_bytes(1 << 20)
+    }
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        let req = sample_request();
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), 120, "fixed-size request payload");
+        assert_eq!(GenerateRequest::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let req = sample_request();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Generate, &req.encode()).unwrap();
+        let (kind, payload) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Generate);
+        assert_eq!(GenerateRequest::decode(&payload).unwrap(), req);
+        // And a clean EOF after the frame boundary reads as None.
+        let mut two = Vec::new();
+        write_frame(&mut two, FrameKind::Ping, &[]).unwrap();
+        let mut r = two.as_slice();
+        assert!(read_frame(&mut r).unwrap().is_some());
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_oversize_and_checksum_fail_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Ping, b"abc").unwrap();
+
+        let mut stomped = buf.clone();
+        stomped[0] = b'X';
+        assert_eq!(
+            read_frame(&mut stomped.as_slice()).unwrap_err().kind(),
+            ErrorKind::CorruptSnapshot
+        );
+
+        let mut oversize = buf.clone();
+        oversize[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut oversize.as_slice()).unwrap_err().kind(),
+            ErrorKind::CorruptSnapshot
+        );
+
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(
+            read_frame(&mut flipped.as_slice()).unwrap_err().kind(),
+            ErrorKind::CorruptSnapshot
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_at_decode() {
+        let good = sample_request();
+        // Negative correlation length.
+        let mut bad = good.encode();
+        bad[33..41].copy_from_slice(&(-3.0f64).to_bits().to_le_bytes());
+        assert_eq!(
+            GenerateRequest::decode(&bad).unwrap_err().kind(),
+            ErrorKind::InvalidParam
+        );
+        // Power-law order n = 1 is not integrable.
+        let mut bad = good.encode();
+        bad[49..57].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert_eq!(
+            GenerateRequest::decode(&bad).unwrap_err().kind(),
+            ErrorKind::InvalidParam
+        );
+        // Empty window.
+        let mut bad = good.encode();
+        bad[97..101].copy_from_slice(&0u32.to_le_bytes());
+        let e = GenerateRequest::decode(&bad).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::InvalidParam);
+        assert!(e.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = GenerateOk {
+            request_id: 9,
+            grid: Grid2::from_fn(3, 2, |x, y| (x as f64) - 0.25 * (y as f64)),
+        };
+        assert_eq!(GenerateOk::decode(&ok.encode()).unwrap(), ok);
+
+        let err = GenerateErr {
+            request_id: 10,
+            kind: ErrorKind::BudgetExceeded,
+            required_bytes: 4096,
+            max_bytes: 1024,
+            message: "window: 4096 bytes required, 1024 allowed".into(),
+        };
+        assert_eq!(GenerateErr::decode(&err.encode()).unwrap(), err);
+
+        let over = Overloaded { request_id: 11, reason: OverloadReason::TenantQuota, queue_depth: 17 };
+        assert_eq!(Overloaded::decode(&over.encode()).unwrap(), over);
+    }
+
+    #[test]
+    fn error_kind_numbering_is_stable() {
+        // Part of the wire protocol: renumbering is a breaking change.
+        let all = [
+            (ErrorKind::InvalidParam, 1),
+            (ErrorKind::ShapeMismatch, 2),
+            (ErrorKind::NonFinite, 3),
+            (ErrorKind::WorkerPanicked, 4),
+            (ErrorKind::CorruptSnapshot, 5),
+            (ErrorKind::Io, 6),
+            (ErrorKind::Cancelled, 7),
+            (ErrorKind::DeadlineExceeded, 8),
+            (ErrorKind::BudgetExceeded, 9),
+            (ErrorKind::FaultInjected, 10),
+        ];
+        for (kind, wire) in all {
+            assert_eq!(error_kind_to_wire(kind), wire);
+            assert_eq!(error_kind_from_wire(wire).unwrap(), kind);
+        }
+        assert_eq!(error_kind_from_wire(0).unwrap_err().kind(), ErrorKind::CorruptSnapshot);
+    }
+}

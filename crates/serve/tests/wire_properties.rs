@@ -1,0 +1,145 @@
+//! Fail-closed properties of the serving wire codec, driven by the
+//! rrs-check runner over the rrs-io fault injectors.
+//!
+//! The contract under test: *no* corruption of a frame — a flipped bit
+//! anywhere, truncation at any byte, a stomped magic — ever decodes
+//! into a value. Every corruption either reads back as a typed
+//! [`ErrorKind::CorruptSnapshot`] / [`ErrorKind::InvalidParam`] error
+//! or (for a truncation that happens to land exactly on the frame
+//! boundary) as a clean end-of-stream. Nothing panics, nothing yields
+//! a wrong-but-plausible request.
+
+use rrs_check::Runner;
+use rrs_error::ErrorKind;
+use rrs_grid::Window;
+use rrs_io::fault::{flip_bit, stomp_magic, truncated};
+use rrs_serve::wire::{read_frame, write_frame, FrameKind};
+use rrs_serve::GenerateRequest;
+use rrs_spectrum::{SpectrumModel, SurfaceParams};
+
+/// A seeded, valid request (parameters drawn from the constructors'
+/// accepted ranges).
+fn arbitrary_request(rng: &mut rrs_check::CaseRng) -> GenerateRequest {
+    let h = 0.1 + rng.next_f64() * 4.0;
+    let clx = 0.5 + rng.next_f64() * 12.0;
+    let cly = 0.5 + rng.next_f64() * 12.0;
+    let params = SurfaceParams::try_new(h, clx, cly).expect("drawn in range");
+    let spectrum = match rng.next_below(3) {
+        0 => SpectrumModel::gaussian(params),
+        1 => SpectrumModel::power_law(params, 1.5 + rng.next_f64() * 3.0),
+        _ => SpectrumModel::exponential(params),
+    };
+    let window = Window::try_new(
+        rng.next_u64() as i32 as i64,
+        rng.next_u64() as i32 as i64,
+        1 + rng.next_below(64) as usize,
+        1 + rng.next_below(64) as usize,
+    )
+    .expect("non-empty, far from overflow");
+    let mut req = GenerateRequest::new(rng.next_u64(), rng.next_below(4), rng.next_u64(), spectrum, window);
+    if rng.next_below(2) == 0 {
+        req = req.with_truncation(1e-6 + rng.next_f64() * 0.1);
+    }
+    let min = 4 + rng.next_below(16) as u32;
+    req.with_sizing(2.0 + rng.next_f64() * 8.0, min, min + rng.next_below(64) as u32)
+}
+
+fn encode_frame(req: &GenerateRequest) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, FrameKind::Generate, &req.encode()).expect("Vec write");
+    buf
+}
+
+/// Decoding a corrupted frame must fail closed (or, for boundary
+/// truncation, read as clean EOF) — never panic, never succeed.
+fn assert_fails_closed(bytes: &[u8], original: &GenerateRequest, what: &str) {
+    match read_frame(&mut &bytes[..]) {
+        Ok(None) => assert!(
+            bytes.is_empty(),
+            "{what}: clean EOF is only legal for an empty stream"
+        ),
+        Ok(Some((kind, payload))) => {
+            // The checksum is not a cryptographic MAC; a forgery would
+            // need to survive FNV-1a *and* re-validate. Neither injector
+            // can produce that from a valid frame, so reaching here with
+            // a decodable, equal request means corruption was silent.
+            let decoded = (kind == FrameKind::Generate)
+                .then(|| GenerateRequest::decode(&payload).ok())
+                .flatten();
+            assert!(
+                decoded.as_ref() != Some(original),
+                "{what}: corruption decoded back to the original request"
+            );
+            panic!("{what}: corrupted frame passed the checksum");
+        }
+        Err(e) => {
+            let kind = e.kind();
+            assert!(
+                matches!(kind, ErrorKind::CorruptSnapshot | ErrorKind::InvalidParam),
+                "{what}: expected a typed framing error, got {kind:?}: {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn any_valid_request_round_trips_through_a_frame() {
+    Runner::new("serve::wire::round_trip", 64).run(|rng| {
+        let req = arbitrary_request(rng);
+        let bytes = encode_frame(&req);
+        let (kind, payload) = read_frame(&mut &bytes[..]).expect("valid frame").expect("one frame");
+        assert_eq!(kind, FrameKind::Generate);
+        assert_eq!(GenerateRequest::decode(&payload).expect("valid payload"), req);
+    });
+}
+
+#[test]
+fn a_flipped_bit_anywhere_fails_closed() {
+    Runner::new("serve::wire::flip_bit", 64).run(|rng| {
+        let req = arbitrary_request(rng);
+        let clean = encode_frame(&req);
+        let mut bytes = clean.clone();
+        let bit = rng.next_below((bytes.len() * 8) as u64) as usize;
+        flip_bit(&mut bytes, bit);
+        assert_fails_closed(&bytes, &req, &format!("bit {bit} of {} bytes", clean.len()));
+    });
+}
+
+#[test]
+fn truncation_at_any_byte_fails_closed() {
+    Runner::new("serve::wire::truncate", 64).run(|rng| {
+        let req = arbitrary_request(rng);
+        let clean = encode_frame(&req);
+        // Any strictly shorter prefix — including the empty one.
+        let keep = rng.next_below(clean.len() as u64) as usize;
+        let bytes = truncated(&clean, keep);
+        assert_fails_closed(&bytes, &req, &format!("truncated to {keep}/{} bytes", clean.len()));
+    });
+}
+
+#[test]
+fn a_stomped_magic_fails_closed() {
+    Runner::new("serve::wire::stomp_magic", 32).run(|rng| {
+        let req = arbitrary_request(rng);
+        let mut bytes = encode_frame(&req);
+        stomp_magic(&mut bytes);
+        assert_fails_closed(&bytes, &req, "stomped magic");
+    });
+}
+
+/// Corrupting only the *payload* region (leaving framing intact) still
+/// fails closed: the checksum covers the payload, so the frame itself
+/// is rejected before the request decoder ever runs.
+#[test]
+fn payload_corruption_is_caught_by_the_frame_checksum() {
+    Runner::new("serve::wire::payload_flip", 64).run(|rng| {
+        let req = arbitrary_request(rng);
+        let mut bytes = encode_frame(&req);
+        // Frame layout: magic(4) kind(1) len(4) payload(120) crc(8).
+        let payload_bits = 120 * 8;
+        let bit = (9 * 8) + rng.next_below(payload_bits) as usize;
+        flip_bit(&mut bytes, bit);
+        let e = read_frame(&mut &bytes[..]).expect_err("checksum must catch a payload flip");
+        assert_eq!(e.kind(), ErrorKind::CorruptSnapshot, "typed framing error, got {e}");
+    });
+}

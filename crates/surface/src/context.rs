@@ -1,0 +1,163 @@
+//! Shared generation context — the one bundle of cross-cutting options
+//! every generator accepts.
+//!
+//! A [`GenContext`] carries the six knobs that used to be threaded
+//! through per-generator `with_*` builders (workers, backend, FFT plan
+//! cache, recorder, budget, chaos injector). All three generators —
+//! [`ConvolutionGenerator`](crate::ConvolutionGenerator),
+//! [`StripGenerator`](crate::StripGenerator) and the inhomogeneous
+//! generator — accept one via `with_context`, and their individual
+//! `with_*` methods are thin sugar over it, so option threading cannot
+//! diverge per generator. Because the context is plain data (every field
+//! cheap to clone, shared state behind `Arc`s), it doubles as the
+//! decoded form of a serving request's per-request options: the server
+//! and the library configure generation through exactly the same struct.
+
+use crate::conv::ConvBackend;
+use rrs_chaos::ChaosInjector;
+use rrs_error::Budget;
+use rrs_fft::FftPlanCache;
+use rrs_obs::Recorder;
+use std::sync::Arc;
+
+/// Cross-cutting generation options, shared by all generators.
+///
+/// Defaults match the historical per-generator defaults exactly:
+/// [`rrs_par::default_workers`] workers, [`ConvBackend::Direct`], a
+/// fresh private [`FftPlanCache`], a disabled [`Recorder`], an
+/// unlimited [`Budget`] and a disabled [`ChaosInjector`] — under which
+/// generation is bit-identical to every previous release.
+///
+/// Clones share the stateful members (plan cache, recorder, chaos
+/// schedule, cancel token) by reference, so a context cloned into many
+/// generators still aggregates observations and twiddle tables in one
+/// place.
+#[derive(Clone)]
+pub struct GenContext {
+    pub(crate) workers: usize,
+    pub(crate) backend: ConvBackend,
+    pub(crate) plans: Arc<FftPlanCache>,
+    pub(crate) obs: Recorder,
+    pub(crate) budget: Budget,
+    pub(crate) chaos: ChaosInjector,
+}
+
+impl Default for GenContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GenContext {
+    /// The default context (see the type-level docs for the values).
+    pub fn new() -> Self {
+        Self {
+            workers: rrs_par::default_workers(),
+            backend: ConvBackend::default(),
+            plans: Arc::new(FftPlanCache::new()),
+            obs: Recorder::disabled(),
+            budget: Budget::unlimited(),
+            chaos: ChaosInjector::disabled(),
+        }
+    }
+
+    /// Sets the worker count (1 = serial; clamped to ≥ 1). Output is
+    /// identical for any worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the convolution engine — see [`ConvBackend`].
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shares an [`FftPlanCache`]: every generator built from this
+    /// context reuses one set of twiddle tables and real-input plans for
+    /// matching tile shapes.
+    pub fn with_plan_cache(mut self, plans: Arc<FftPlanCache>) -> Self {
+        self.plans = plans;
+        self
+    }
+
+    /// Attaches a recorder for stage timings and counters. Observation
+    /// never alters output.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attaches a resource [`Budget`]: deadline/cancel polled
+    /// cooperatively at band/tile granularity, byte ceiling enforced by
+    /// admission control before allocation.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms a deterministic fault schedule — see [`ChaosInjector`].
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured backend policy (not resolved).
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// The shared FFT plan cache.
+    pub fn plan_cache(&self) -> &Arc<FftPlanCache> {
+        &self.plans
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// The attached budget ([`Budget::unlimited`] by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The armed chaos injector (disabled by default).
+    pub fn chaos(&self) -> &ChaosInjector {
+        &self.chaos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_historical_per_generator_defaults() {
+        let ctx = GenContext::new();
+        assert_eq!(ctx.workers(), rrs_par::default_workers());
+        assert_eq!(ctx.backend(), ConvBackend::Direct);
+        assert!(!ctx.recorder().is_enabled());
+        assert!(ctx.budget().is_unlimited());
+        assert!(!ctx.chaos().is_enabled());
+    }
+
+    #[test]
+    fn builders_set_and_clones_share() {
+        let plans = Arc::new(FftPlanCache::new());
+        let ctx = GenContext::new()
+            .with_workers(0)
+            .with_backend(ConvBackend::Auto)
+            .with_plan_cache(Arc::clone(&plans));
+        assert_eq!(ctx.workers(), 1, "workers clamp to >= 1");
+        assert_eq!(ctx.backend(), ConvBackend::Auto);
+        let clone = ctx.clone();
+        assert!(Arc::ptr_eq(clone.plan_cache(), &plans), "clones share the plan cache");
+    }
+}

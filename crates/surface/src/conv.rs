@@ -19,6 +19,7 @@
 //! disabled recorder records nothing and costs nothing, and enabling it
 //! never changes a single output bit.
 
+use crate::context::GenContext;
 use crate::fftconv::{self, FftEngine};
 use crate::kernel::{ConvolutionKernel, KernelSizing};
 use crate::noise::NoiseField;
@@ -196,12 +197,8 @@ fn is_degradable(e: &RrsError) -> bool {
 /// Homogeneous surface generator by real-space convolution.
 pub struct ConvolutionGenerator {
     kernel: ConvolutionKernel,
-    workers: usize,
-    obs: Recorder,
-    budget: Budget,
-    backend: ConvBackend,
+    ctx: GenContext,
     fft: FftEngine,
-    chaos: ChaosInjector,
     health: BackendHealth,
     /// Noise-window scratch reused across requests (the streaming bench
     /// materialises hundreds of same-shape windows per run); concurrent
@@ -231,25 +228,44 @@ impl ConvolutionGenerator {
             .with_recorder(obs)
     }
 
-    /// Wraps a prebuilt (possibly truncated) kernel.
+    /// Wraps a prebuilt (possibly truncated) kernel with the default
+    /// [`GenContext`].
     pub fn from_kernel(kernel: ConvolutionKernel) -> Self {
+        let ctx = GenContext::new();
         Self {
             kernel,
-            workers: rrs_par::default_workers(),
-            obs: Recorder::disabled(),
-            budget: Budget::unlimited(),
-            backend: ConvBackend::default(),
-            fft: FftEngine::new(Arc::new(FftPlanCache::new())),
-            chaos: ChaosInjector::disabled(),
+            fft: FftEngine::new(Arc::clone(&ctx.plans)),
+            ctx,
             health: BackendHealth::new(),
             scratch: Mutex::new(Vec::new()),
         }
     }
 
+    /// Replaces the whole [`GenContext`] at once — the single entry
+    /// point every `with_*` builder delegates to, and the one a serving
+    /// front-end uses to apply wire-decoded per-request options. The FFT
+    /// engine is rebuilt only when the context carries a *different*
+    /// plan cache, so re-applying a context that shares the current
+    /// cache keeps this generator's cached kernel spectra warm.
+    pub fn with_context(mut self, ctx: GenContext) -> Self {
+        if !Arc::ptr_eq(self.fft.plans(), &ctx.plans) {
+            self.fft = FftEngine::new(Arc::clone(&ctx.plans));
+        }
+        self.ctx = ctx;
+        self
+    }
+
+    /// The generation context (workers, backend, plan cache, recorder,
+    /// budget, chaos).
+    pub fn context(&self) -> &GenContext {
+        &self.ctx
+    }
+
     /// Sets the worker count (1 = serial). Output is identical for any
-    /// worker count.
+    /// worker count. Sugar for [`GenContext::with_workers`] via
+    /// [`ConvolutionGenerator::with_context`].
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.ctx = self.ctx.with_workers(workers);
         self
     }
 
@@ -261,21 +277,21 @@ impl ConvolutionGenerator {
     /// [`stage::CONV_BACKEND_DIRECT`] or [`stage::CONV_BACKEND_FFT`] for
     /// the engine it actually ran.
     pub fn with_backend(mut self, backend: ConvBackend) -> Self {
-        self.backend = backend;
+        self.ctx = self.ctx.with_backend(backend);
         self
     }
 
     /// The configured backend policy (not yet resolved — see
     /// [`ConvolutionGenerator::resolved_backend`]).
     pub fn backend(&self) -> ConvBackend {
-        self.backend
+        self.ctx.backend
     }
 
     /// The backend this generator actually runs for its kernel:
     /// `Auto` resolved through the measured crossover.
     pub fn resolved_backend(&self) -> ConvBackend {
         let (kw, kh) = self.kernel.extent();
-        self.backend.resolve(kw, kh)
+        self.ctx.backend.resolve(kw, kh)
     }
 
     /// Shares an [`FftPlanCache`] with this generator (and, through
@@ -283,9 +299,9 @@ impl ConvolutionGenerator {
     /// it), so several generators transforming the same tile shapes reuse
     /// one set of twiddle tables. Clears nothing: the generator's cached
     /// kernel spectra are keyed independently.
-    pub fn with_plan_cache(mut self, plans: Arc<FftPlanCache>) -> Self {
-        self.fft = FftEngine::new(plans);
-        self
+    pub fn with_plan_cache(self, plans: Arc<FftPlanCache>) -> Self {
+        let ctx = self.ctx.clone().with_plan_cache(plans);
+        self.with_context(ctx)
     }
 
     /// The FFT plan cache backing the overlap-save engine.
@@ -297,7 +313,7 @@ impl ConvolutionGenerator {
     /// never alters output: an enabled run is bit-identical to a disabled
     /// one.
     pub fn with_recorder(mut self, obs: Recorder) -> Self {
-        self.obs = obs;
+        self.ctx = self.ctx.with_recorder(obs);
         self
     }
 
@@ -308,14 +324,14 @@ impl ConvolutionGenerator {
     /// [`Budget::unlimited`], under which every code path is bit-identical
     /// to (and as fast as) the unbudgeted generator.
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.ctx = self.ctx.with_budget(budget);
         self
     }
 
     /// The attached budget ([`Budget::unlimited`] unless
     /// [`ConvolutionGenerator::with_budget`] was called).
     pub fn budget(&self) -> &Budget {
-        &self.budget
+        &self.ctx.budget
     }
 
     /// Arms a deterministic fault schedule ([`ChaosInjector`]): every
@@ -326,14 +342,14 @@ impl ConvolutionGenerator {
     /// every poll is a single branch and output is untouched (the
     /// `bench_runtime` gate holds the overhead under 1.05x).
     pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
-        self.chaos = chaos;
+        self.ctx = self.ctx.with_chaos(chaos);
         self
     }
 
     /// The armed chaos injector (disabled unless
     /// [`ConvolutionGenerator::with_chaos`] was called).
     pub fn chaos(&self) -> &ChaosInjector {
-        &self.chaos
+        &self.ctx.chaos
     }
 
     /// This generator's circuit breaker over the degradation ladder.
@@ -349,15 +365,15 @@ impl ConvolutionGenerator {
     /// The attached recorder (disabled unless
     /// [`ConvolutionGenerator::with_recorder`] was called).
     pub fn recorder(&self) -> &Recorder {
-        &self.obs
+        &self.ctx.obs
     }
 
     /// Admission control against the attached budget: `required_bytes` is
     /// the f64 footprint this request would materialise. A rejection ticks
     /// [`stage::BUDGET_REJECT`] and nothing has been allocated yet.
     fn admit(&self, what: &'static str, required_samples: u128) -> Result<(), RrsError> {
-        self.budget.admit(what, required_samples * 8).inspect_err(|_| {
-            self.obs.add_counter(stage::BUDGET_REJECT, 1);
+        self.ctx.budget.admit(what, required_samples * 8).inspect_err(|_| {
+            self.ctx.obs.add_counter(stage::BUDGET_REJECT, 1);
         })
     }
 
@@ -369,7 +385,7 @@ impl ConvolutionGenerator {
     /// ([`RrsError::BudgetExceeded`]) before the noise window or output
     /// field is materialised.
     pub fn try_generate(&self, noise: &NoiseField, win: Window) -> Result<Grid2<f64>, RrsError> {
-        self.budget.check()?;
+        self.ctx.budget.check()?;
         let (kw, kh) = self.kernel.extent();
         let (ox, oy) = self.kernel.origin();
         // f(n) = Σ_j w̃(j)·X(n−j); offsets j span [ox, ox+kw) × [oy, oy+kh),
@@ -384,10 +400,11 @@ impl ConvolutionGenerator {
         // real-input engine's per-worker arenas included, using the same
         // deterministic worker clamp the engine applies).
         let mut samples = ww as u128 * wh as u128 + win.nx as u128 * win.ny as u128;
-        match self.backend.resolve(kw, kh) {
+        match self.ctx.backend.resolve(kw, kh) {
             ConvBackend::FftOverlapSave => {
                 let shape = fftconv::plan_tiles(win.nx, win.ny, kw, kh);
-                let w = fftconv::effective_workers(shape, win.nx, win.ny, kw, kh, self.workers);
+                let w =
+                    fftconv::effective_workers(shape, win.nx, win.ny, kw, kh, self.ctx.workers);
                 samples += shape.scratch_samples_real(w);
             }
             ConvBackend::FftComplexSerial => {
@@ -396,14 +413,14 @@ impl ConvolutionGenerator {
             _ => {}
         }
         self.admit("convolution generation", samples)?;
-        let span = self.obs.start(stage::WINDOW_MATERIALISE);
+        let span = self.ctx.obs.start(stage::WINDOW_MATERIALISE);
         // Reuse the generator's scratch window when uncontended; a second
         // concurrent request simply materialises into its own buffer.
         let mut local = Vec::new();
         let mut guard = self.scratch.try_lock().ok();
         let buf: &mut Vec<f64> = guard.as_deref_mut().unwrap_or(&mut local);
         noise.try_window_into(wx0, wy0, ww, wh, buf)?;
-        self.obs.finish(span);
+        self.ctx.obs.finish(span);
         self.dispatch(buf, ww, wh, win.nx, win.ny)
     }
 
@@ -416,36 +433,6 @@ impl ConvolutionGenerator {
     /// [`ConvolutionGenerator::try_generate`].
     pub fn generate(&self, noise: &NoiseField, win: Window) -> Grid2<f64> {
         self.try_generate(noise, win).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Positional form of [`ConvolutionGenerator::try_generate`].
-    #[deprecated(note = "use try_generate(noise, Window)")]
-    pub fn try_generate_window(
-        &self,
-        noise: &NoiseField,
-        x0: i64,
-        y0: i64,
-        nx: usize,
-        ny: usize,
-    ) -> Result<Grid2<f64>, RrsError> {
-        self.try_generate(noise, Window::try_new(x0, y0, nx, ny)?)
-    }
-
-    /// Positional form of [`ConvolutionGenerator::generate`].
-    ///
-    /// # Panics
-    /// Panics if the window is empty or a worker panics.
-    #[deprecated(note = "use generate(noise, Window)")]
-    pub fn generate_window(
-        &self,
-        noise: &NoiseField,
-        x0: i64,
-        y0: i64,
-        nx: usize,
-        ny: usize,
-    ) -> Grid2<f64> {
-        let win = Window::try_new(x0, y0, nx, ny).unwrap_or_else(|e| panic!("{e}"));
-        self.generate(noise, win)
     }
 
     /// Routes an already-materialised window down the degradation
@@ -467,21 +454,21 @@ impl ConvolutionGenerator {
         ny: usize,
     ) -> Result<Grid2<f64>, RrsError> {
         let (kw, kh) = self.kernel.extent();
-        let rungs = ladder(self.backend.resolve(kw, kh));
+        let rungs = ladder(self.ctx.backend.resolve(kw, kh));
         let mut degraded = false;
         for (i, &rung) in rungs.iter().enumerate() {
             let is_last = i + 1 == rungs.len();
             if !is_last && !self.health.should_try(rung) {
-                self.obs.add_counter(stage::CONV_BREAKER_SKIPS, 1);
+                self.ctx.obs.add_counter(stage::CONV_BREAKER_SKIPS, 1);
                 degraded = true;
                 continue;
             }
             if degraded {
                 match rung {
                     ConvBackend::FftComplexSerial => {
-                        self.obs.add_counter(stage::CONV_DEGRADED_TO_FFT_SERIAL, 1)
+                        self.ctx.obs.add_counter(stage::CONV_DEGRADED_TO_FFT_SERIAL, 1)
                     }
-                    _ => self.obs.add_counter(stage::CONV_DEGRADED_TO_DIRECT, 1),
+                    _ => self.ctx.obs.add_counter(stage::CONV_DEGRADED_TO_DIRECT, 1),
                 }
             }
             match self.run_backend(rung, win, ww, wh, nx, ny) {
@@ -517,7 +504,7 @@ impl ConvolutionGenerator {
     ) -> Result<Grid2<f64>, RrsError> {
         catch_unwind(AssertUnwindSafe(|| match rung {
             ConvBackend::FftOverlapSave => {
-                self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+                self.ctx.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
                 self.fft.convolve_rfft(
                     0,
                     &self.kernel,
@@ -526,14 +513,14 @@ impl ConvolutionGenerator {
                     wh,
                     nx,
                     ny,
-                    self.workers,
-                    &self.obs,
-                    &self.budget,
-                    &self.chaos,
+                    self.ctx.workers,
+                    &self.ctx.obs,
+                    &self.ctx.budget,
+                    &self.ctx.chaos,
                 )
             }
             ConvBackend::FftComplexSerial => {
-                self.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
+                self.ctx.obs.add_counter(stage::CONV_BACKEND_FFT, 1);
                 self.fft.convolve(
                     0,
                     &self.kernel,
@@ -542,14 +529,14 @@ impl ConvolutionGenerator {
                     wh,
                     nx,
                     ny,
-                    self.workers,
-                    &self.obs,
-                    &self.budget,
-                    &self.chaos,
+                    self.ctx.workers,
+                    &self.ctx.obs,
+                    &self.ctx.budget,
+                    &self.ctx.chaos,
                 )
             }
             _ => {
-                self.obs.add_counter(stage::CONV_BACKEND_DIRECT, 1);
+                self.ctx.obs.add_counter(stage::CONV_BACKEND_DIRECT, 1);
                 self.correlate(win, ww, nx, ny)
             }
         }))
@@ -584,7 +571,7 @@ impl ConvolutionGenerator {
                 win.len(),
             ));
         }
-        self.budget.check()?;
+        self.ctx.budget.check()?;
         self.dispatch(win, ww, wh, nx, ny)
     }
 
@@ -606,14 +593,14 @@ impl ConvolutionGenerator {
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        let span = self.obs.start(stage::CORRELATE);
+        let span = self.ctx.obs.start(stage::CORRELATE);
         rrs_par::try_par_row_chunks_mut_chaos(
             out_slice,
             nx,
-            self.workers,
-            &self.obs,
-            &self.budget,
-            &self.chaos,
+            self.ctx.workers,
+            &self.ctx.obs,
+            &self.ctx.budget,
+            &self.ctx.chaos,
             |iy0, chunk| {
                 let mut s_row = vec![0.0f64; nx];
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
@@ -638,12 +625,12 @@ impl ConvolutionGenerator {
                         }
                     }
                 }
-                let mut shard = self.obs.shard();
+                let mut shard = self.ctx.obs.shard();
                 shard.add(stage::CORRELATE_SAMPLES, chunk.len() as u64);
-                self.obs.absorb(shard);
+                self.ctx.obs.absorb(shard);
             },
         )?;
-        self.obs.finish(span);
+        self.ctx.obs.finish(span);
         Ok(out)
     }
 
@@ -667,20 +654,20 @@ impl ConvolutionGenerator {
                 format!("{kw}x{kh}"),
             ));
         }
-        self.budget.check()?;
+        self.ctx.budget.check()?;
         self.admit("periodic convolution", nx as u128 * ny as u128)?;
         let (ox, oy) = self.kernel.origin();
         let kernel = self.kernel.weights();
         let mut out = Grid2::zeros(nx, ny);
         let out_slice = out.as_mut_slice();
-        let span = self.obs.start(stage::CORRELATE);
+        let span = self.ctx.obs.start(stage::CORRELATE);
         rrs_par::try_par_row_chunks_mut_chaos(
             out_slice,
             nx,
-            self.workers,
-            &self.obs,
-            &self.budget,
-            &self.chaos,
+            self.ctx.workers,
+            &self.ctx.obs,
+            &self.ctx.budget,
+            &self.ctx.chaos,
             |iy0, chunk| {
                 for (row_off, row) in chunk.chunks_mut(nx).enumerate() {
                     let iy = iy0 + row_off;
@@ -699,12 +686,12 @@ impl ConvolutionGenerator {
                         *slot = acc;
                     }
                 }
-                let mut shard = self.obs.shard();
+                let mut shard = self.ctx.obs.shard();
                 shard.add(stage::CORRELATE_SAMPLES, chunk.len() as u64);
-                self.obs.absorb(shard);
+                self.ctx.obs.absorb(shard);
             },
         )?;
-        self.obs.finish(span);
+        self.ctx.obs.finish(span);
         Ok(out)
     }
 
@@ -848,34 +835,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     fn empty_window_rejected() {
+        // Window construction is where emptiness is rejected now that the
+        // positional wrappers are gone.
+        let err = Window::try_new(0, 0, 0, 4).unwrap_err();
+        assert_eq!(err.kind(), rrs_error::ErrorKind::InvalidParam);
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 3.0));
-        #[allow(deprecated)]
-        ConvolutionGenerator::new(&s, KernelSizing::default()).generate_window(
-            &NoiseField::new(0),
-            0,
-            0,
-            0,
-            4,
-        );
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default());
+        let err = gen.try_correlate_window(&[], 0, 4).unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_wrappers_match_window_form() {
+    fn with_context_matches_the_sugar_builders() {
+        use crate::context::GenContext;
         let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
-        let gen = ConvolutionGenerator::new(&s, KernelSizing::default()).with_workers(1);
+        let k = ConvolutionKernel::build(&s, KernelSizing::default());
         let noise = NoiseField::new(77);
+        let win = Window::new(-3, 9, 20, 12);
+        let plans = Arc::new(FftPlanCache::new());
+        let sugar = ConvolutionGenerator::from_kernel(k.clone())
+            .with_workers(2)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_plan_cache(Arc::clone(&plans));
+        let ctx = GenContext::new()
+            .with_workers(2)
+            .with_backend(ConvBackend::FftOverlapSave)
+            .with_plan_cache(Arc::clone(&plans));
+        let via_ctx = ConvolutionGenerator::from_kernel(k).with_context(ctx);
         assert_eq!(
-            gen.generate_window(&noise, -3, 9, 20, 12),
-            gen.generate(&noise, Window::new(-3, 9, 20, 12)),
+            sugar.try_generate(&noise, win).unwrap(),
+            via_ctx.try_generate(&noise, win).unwrap(),
+            "one with_context must equal the chained sugar builders bit-for-bit"
         );
-        assert_eq!(
-            gen.try_generate_window(&noise, 4, -2, 8, 8).unwrap(),
-            gen.try_generate(&noise, Window::new(4, -2, 8, 8)).unwrap(),
-        );
-        assert!(gen.try_generate_window(&noise, 0, 0, 0, 8).is_err());
+        assert!(Arc::ptr_eq(sugar.plan_cache(), via_ctx.plan_cache()));
+        assert_eq!(via_ctx.context().workers(), 2);
+        assert_eq!(via_ctx.context().backend(), ConvBackend::FftOverlapSave);
+    }
+
+    #[test]
+    fn reapplying_a_same_cache_context_keeps_the_fft_engine() {
+        use crate::context::GenContext;
+        let s = Gaussian::new(SurfaceParams::isotropic(1.0, 4.0));
+        let gen = ConvolutionGenerator::new(&s, KernelSizing::default());
+        let same = gen.context().clone().with_workers(3);
+        let gen = gen.with_context(same);
+        assert_eq!(gen.context().workers(), 3);
+        // A context with a different cache swaps the engine's plans.
+        let other = Arc::new(FftPlanCache::new());
+        let ctx = GenContext::new().with_plan_cache(Arc::clone(&other));
+        let gen = gen.with_context(ctx);
+        assert!(Arc::ptr_eq(gen.plan_cache(), &other));
     }
 
     #[test]

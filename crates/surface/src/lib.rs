@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod conv;
 pub mod direct;
 mod fftconv;
@@ -30,6 +31,7 @@ pub mod kernel;
 pub mod noise;
 pub mod stream;
 
+pub use context::GenContext;
 pub use conv::{BackendHealth, ConvBackend, ConvolutionGenerator};
 
 #[doc(hidden)]

@@ -70,6 +70,19 @@ impl StripGenerator {
         Self::try_from_generator(gen, ny, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Replaces the inner generator's whole [`GenContext`] at once —
+    /// the entry point every `with_*` builder below delegates through.
+    /// See [`ConvolutionGenerator::with_context`].
+    pub fn with_context(mut self, ctx: crate::GenContext) -> Self {
+        self.gen = self.gen.with_context(ctx);
+        self
+    }
+
+    /// The inner generator's generation context.
+    pub fn context(&self) -> &crate::GenContext {
+        self.gen.context()
+    }
+
     /// Attaches a recorder to the inner convolution generator: strips
     /// count under `strip/tiles` and generation stages are timed. Output
     /// is unchanged.
@@ -330,6 +343,17 @@ mod tests {
         assert_eq!(sg.cursor(), 8, "a faulted strip must not advance the cursor");
         // The stream resumes the identical surface after the fault.
         assert_eq!(sg.try_next_strip(8).unwrap(), clean.next_strip(8));
+    }
+
+    #[test]
+    fn with_context_matches_the_sugar_builders() {
+        let rec = Recorder::enabled();
+        let ctx = crate::GenContext::new().with_workers(1).with_recorder(rec.clone());
+        let mut via_ctx = make(42).with_context(ctx);
+        let mut sugar = make(42).with_recorder(Recorder::enabled());
+        assert_eq!(via_ctx.next_strip(8), sugar.next_strip(8));
+        assert!(via_ctx.context().recorder().is_enabled());
+        assert_eq!(rec.report().counter(stage::STRIP_TILES), 1);
     }
 
     #[test]

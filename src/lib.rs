@@ -31,6 +31,7 @@
 //! | [`stats`] | moments, autocorrelation, correlation-length fits, normality tests |
 //! | [`fft`], [`rng`], [`num`], [`grid`], [`par`] | substrates built for this reproduction |
 //! | [`io`] | CSV / gnuplot / PGM / snapshot export, stream checkpoints |
+//! | [`serve`] | TCP serving front-end: binary wire codec, multi-tenant scheduler, request coalescing |
 //! | [`obs`] | stage-level spans, counters and duration histograms behind [`obs::Recorder`] |
 //! | [`propagation`] | link budgets over generated profiles (the motivating application) |
 //! | [`error`] | the unified [`error::RrsError`] taxonomy returned by every `try_*` API |
@@ -93,6 +94,7 @@ pub use rrs_obs as obs;
 pub use rrs_par as par;
 pub use rrs_propagation as propagation;
 pub use rrs_rng as rng;
+pub use rrs_serve as serve;
 pub use rrs_spectrum as spectrum;
 pub use rrs_stats as stats;
 pub use rrs_surface as surface;
@@ -118,8 +120,9 @@ pub mod prelude {
     };
     pub use rrs_stats::{validate_region, RegionReport};
     pub use rrs_fft::FftPlanCache;
+    pub use rrs_serve::{Client, GenerateRequest, ServeConfig, ServeError, TenantQuota};
     pub use rrs_surface::{
         BackendHealth, ConvBackend, ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator,
-        KernelSizing, LineGenerator, LineKernel, NoiseField, StripGenerator,
+        GenContext, KernelSizing, LineGenerator, LineKernel, NoiseField, StripGenerator,
     };
 }

@@ -97,18 +97,19 @@ fn strip_generator_observation_counts_tiles() {
     assert_eq!(rec.report().counters.get(stage::STRIP_TILES).copied(), Some(3));
 }
 
-/// The deprecated positional forms are pure wrappers: same bits as the
-/// `Window` forms they forward to.
+/// A shared `GenContext` applied through `with_context` observes exactly
+/// like the chained `with_recorder` sugar — one recorder, same bits.
 #[test]
-#[allow(deprecated)]
-fn deprecated_positional_forms_match_window_forms() {
+fn gen_context_threads_the_recorder_like_the_sugar_builder() {
     let s = spectrum();
     let noise = NoiseField::new(5);
-    let gen = ConvolutionGenerator::new(&s, sizing());
-    assert_eq!(
-        gen.generate_window(&noise, -3, 4, 20, 18),
-        gen.generate(&noise, Window::new(-3, 4, 20, 18)),
-    );
+    let win = Window::new(-3, 4, 20, 18);
+    let rec = Recorder::enabled();
+    let ctx = rrs::surface::GenContext::new().with_recorder(rec.clone());
+    let via_ctx = ConvolutionGenerator::new(&s, sizing()).with_context(ctx);
+    let sugar = ConvolutionGenerator::new(&s, sizing()).with_recorder(Recorder::enabled());
+    assert_eq!(via_ctx.generate(&noise, win), sugar.generate(&noise, win));
+    assert!(rec.report().durations.contains_key(stage::WINDOW_MATERIALISE));
 }
 
 /// A disabled recorder threaded through every hook stays empty and the
