@@ -57,6 +57,15 @@ echo "== serving loopback: served windows must equal direct generation =="
 # with typed errors — see tests/serve_loopback.rs.
 cargo test -q --test serve_loopback --locked --offline
 
+echo "== partition torture: failover, draining and wire-level chaos =="
+# 2–3 in-process servers with seeded kills/stalls mid-pipelined-batch:
+# every window FNV-1a bit-identical to direct generation, failover /
+# retry / breaker transitions visible as serve/client_* counters,
+# draining rejects typed and still flushes the admitted queue, slow
+# connections reaped, mid-frame disconnects never yield a partial
+# window — see tests/serve_partition.rs.
+cargo test -q --test serve_partition --locked --offline
+
 echo "== guard: no internal calls to deprecated APIs =="
 # The deprecated positional generate_window wrappers have been deleted;
 # the flag now guards against reintroducing them (or calling any newly
@@ -88,6 +97,14 @@ echo "== serving gate: pipelined load must hit the plan cache and reject overloa
 # or if an overloaded server fails to reject typed before allocating —
 # see bench_serve.
 cargo run --release --locked --offline -p rrs-bench --bin bench_serve
+
+echo "== serving resilience gate: failover tail, chaos-off overhead, bit-identity =="
+# Exits 1 if p99 latency through the sharded client with one dead
+# endpoint of three exceeds the floor, if the chaos-disabled sharded
+# client costs >= 1.05x the plain client (median of paired reps), if
+# any served window is not bit-identical to direct generation, or if
+# the dead endpoint never forced a failover — see bench_serve_resilience.
+cargo run --release --locked --offline -p rrs-bench --bin bench_serve_resilience
 
 echo "== bench smoke: reduced-scale reproduction run =="
 smoke_out="$(mktemp -d)"

@@ -65,14 +65,41 @@ pub enum FaultSite {
     /// One durable checkpoint write. Polled with
     /// [`ChaosInjector::poll_contained`].
     CheckpointWrite,
+    /// One accepted TCP connection in the serving accept loop. A fault
+    /// drops the connection before a reader thread ever spawns, as if
+    /// the endpoint died during the handshake. Polled with
+    /// [`ChaosInjector::poll_contained`].
+    ConnAccept,
+    /// One frame read through the serving codec's chaos seam
+    /// (`rrs_serve::wire::read_frame_chaos`). Faults surface as a reset
+    /// connection, a clean peer hang-up, or a stall past the read
+    /// deadline. Polled with [`ChaosInjector::poll_contained`].
+    FrameRead,
+    /// One frame write through the serving codec's chaos seam
+    /// (`rrs_serve::wire::write_frame_chaos`). An injected error writes
+    /// a *truncated prefix* of the frame before failing, so the peer
+    /// observes a genuine mid-frame disconnect. Polled with
+    /// [`ChaosInjector::poll_contained`].
+    FrameWrite,
+    /// One outbound client connect to a serving endpoint. A fault makes
+    /// the endpoint unreachable at exactly that attempt, driving the
+    /// sharded client's failover path. Polled with
+    /// [`ChaosInjector::poll_contained`].
+    EndpointConnect,
 }
 
 /// Number of distinct [`FaultSite`]s (length of [`FaultSite::ALL`]).
-pub const N_SITES: usize = 6;
+pub const N_SITES: usize = 10;
+
+/// Number of compute-pipeline sites (length of [`FaultSite::PIPELINE`]).
+pub const N_PIPELINE_SITES: usize = 6;
+
+/// Number of network/serving sites (length of [`FaultSite::NETWORK`]).
+pub const N_NETWORK_SITES: usize = 4;
 
 impl FaultSite {
-    /// Every registered site, in stable order. The torture suite
-    /// iterates this to prove coverage of the whole pipeline.
+    /// Every registered site, in stable order:
+    /// [`FaultSite::PIPELINE`] followed by [`FaultSite::NETWORK`].
     pub const ALL: [FaultSite; N_SITES] = [
         FaultSite::ParBandSlice,
         FaultSite::FftTile,
@@ -80,6 +107,31 @@ impl FaultSite {
         FaultSite::PlanCacheLookup,
         FaultSite::RetrySleep,
         FaultSite::CheckpointWrite,
+        FaultSite::ConnAccept,
+        FaultSite::FrameRead,
+        FaultSite::FrameWrite,
+        FaultSite::EndpointConnect,
+    ];
+
+    /// The compute-pipeline sites every in-process generation visits.
+    /// The chaos torture suite iterates this subset when it asserts
+    /// whole-pipeline visit coverage — network sites are only reached
+    /// when `rrs-serve` is in the loop.
+    pub const PIPELINE: [FaultSite; N_PIPELINE_SITES] = [
+        FaultSite::ParBandSlice,
+        FaultSite::FftTile,
+        FaultSite::StripTile,
+        FaultSite::PlanCacheLookup,
+        FaultSite::RetrySleep,
+        FaultSite::CheckpointWrite,
+    ];
+
+    /// The wire-level sites injected through the serving transport seam.
+    pub const NETWORK: [FaultSite; N_NETWORK_SITES] = [
+        FaultSite::ConnAccept,
+        FaultSite::FrameRead,
+        FaultSite::FrameWrite,
+        FaultSite::EndpointConnect,
     ];
 
     /// Stable human-readable name, used in error messages and reports.
@@ -91,6 +143,10 @@ impl FaultSite {
             FaultSite::PlanCacheLookup => "plan_cache_lookup",
             FaultSite::RetrySleep => "retry_sleep",
             FaultSite::CheckpointWrite => "checkpoint_write",
+            FaultSite::ConnAccept => "conn_accept",
+            FaultSite::FrameRead => "frame_read",
+            FaultSite::FrameWrite => "frame_write",
+            FaultSite::EndpointConnect => "endpoint_connect",
         }
     }
 
@@ -102,6 +158,10 @@ impl FaultSite {
             FaultSite::PlanCacheLookup => 3,
             FaultSite::RetrySleep => 4,
             FaultSite::CheckpointWrite => 5,
+            FaultSite::ConnAccept => 6,
+            FaultSite::FrameRead => 7,
+            FaultSite::FrameWrite => 8,
+            FaultSite::EndpointConnect => 9,
         }
     }
 }
@@ -458,5 +518,18 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), N_SITES, "site names must be distinct");
         assert_eq!(FaultSite::FftTile.name(), "fft_tile");
+        assert_eq!(FaultSite::FrameWrite.name(), "frame_write");
+    }
+
+    #[test]
+    fn pipeline_and_network_partition_all_sites() {
+        let mut combined: Vec<FaultSite> = FaultSite::PIPELINE.to_vec();
+        combined.extend_from_slice(&FaultSite::NETWORK);
+        assert_eq!(combined, FaultSite::ALL.to_vec(), "ALL must be PIPELINE ++ NETWORK");
+        assert_eq!(N_PIPELINE_SITES + N_NETWORK_SITES, N_SITES);
+        // Each site claims a distinct visit-counter slot.
+        let mut slots: Vec<usize> = FaultSite::ALL.iter().map(|s| s.slot()).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..N_SITES).collect::<Vec<_>>());
     }
 }

@@ -72,6 +72,28 @@ pub enum ErrorKind {
     BudgetExceeded,
     /// A deterministic chaos schedule injected a fault at this site.
     FaultInjected,
+    /// A serving endpoint could not be reached (connect failed, timed
+    /// out, or the connection died). Retryable: generation is
+    /// idempotent, so the same request can be re-issued anywhere.
+    Unavailable,
+    /// The serving endpoint is draining for shutdown and refuses new
+    /// work. Retryable against another endpoint.
+    Draining,
+}
+
+impl ErrorKind {
+    /// Whether a failure of this kind is safe and sensible to retry.
+    ///
+    /// Retryable kinds describe the *transport or endpoint*, never the
+    /// request: because every window is a pure function of
+    /// `(seed, spectrum, window)`, re-issuing the identical request —
+    /// on the same endpoint or any other — can only produce the
+    /// identical bits or another transient failure. Kinds that describe
+    /// the request itself (`InvalidParam`, `BudgetExceeded`, …) fail
+    /// the same way everywhere and must surface unchanged.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Self::Io | Self::Unavailable | Self::Draining)
+    }
 }
 
 /// The workspace-wide error type.
@@ -150,6 +172,18 @@ pub enum RrsError {
         /// Zero-based visit index at which the schedule fired.
         index: u64,
     },
+    /// A serving endpoint could not be reached: the connect failed or
+    /// timed out, or an established connection died mid-exchange.
+    /// Produced by the serving client; a sharded client treats it as
+    /// the signal to fail over.
+    Unavailable {
+        /// What failed (`"connect to 10.0.0.7:4100 timed out"`, …).
+        detail: String,
+    },
+    /// The serving endpoint is draining for shutdown: queued work
+    /// finishes, but new requests are refused with this typed error so
+    /// clients immediately retry elsewhere instead of timing out.
+    Draining,
     /// A lower-level error wrapped with a higher-level context line.
     Context {
         /// The higher-level operation that failed.
@@ -207,6 +241,11 @@ impl RrsError {
         Self::FaultInjected { site, index }
     }
 
+    /// Builds an [`RrsError::Unavailable`].
+    pub fn unavailable(detail: impl Into<String>) -> Self {
+        Self::Unavailable { detail: detail.into() }
+    }
+
     /// The error's kind, looking through [`RrsError::Context`] wrappers.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -220,6 +259,8 @@ impl RrsError {
             Self::DeadlineExceeded => ErrorKind::DeadlineExceeded,
             Self::BudgetExceeded { .. } => ErrorKind::BudgetExceeded,
             Self::FaultInjected { .. } => ErrorKind::FaultInjected,
+            Self::Unavailable { .. } => ErrorKind::Unavailable,
+            Self::Draining => ErrorKind::Draining,
             Self::Context { source, .. } => source.kind(),
         }
     }
@@ -262,6 +303,8 @@ impl fmt::Display for RrsError {
             Self::FaultInjected { site, index } => {
                 write!(f, "injected fault at {site}[{index}]")
             }
+            Self::Unavailable { detail } => write!(f, "endpoint unavailable: {detail}"),
+            Self::Draining => f.write_str("endpoint draining: retry another endpoint"),
             Self::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -401,6 +444,28 @@ mod tests {
         let wrapped = e.with_context("convolving window");
         assert_eq!(wrapped.kind(), ErrorKind::FaultInjected);
         assert!(wrapped.to_string().contains("fft_tile[3]"));
+    }
+
+    #[test]
+    fn unavailable_and_draining_are_typed_and_retryable() {
+        let e = RrsError::unavailable("connect to 10.0.0.7:4100 timed out");
+        assert_eq!(e.kind(), ErrorKind::Unavailable);
+        assert_eq!(e.to_string(), "endpoint unavailable: connect to 10.0.0.7:4100 timed out");
+        assert!(e.kind().is_retryable());
+        let d = RrsError::Draining;
+        assert_eq!(d.kind(), ErrorKind::Draining);
+        assert!(d.kind().is_retryable());
+        assert!(d.to_string().contains("draining"));
+        // Request-shaped failures must never be retryable.
+        for kind in [
+            ErrorKind::InvalidParam,
+            ErrorKind::BudgetExceeded,
+            ErrorKind::Cancelled,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::CorruptSnapshot,
+        ] {
+            assert!(!kind.is_retryable(), "{kind:?} must not be retryable");
+        }
     }
 
     #[test]

@@ -135,6 +135,27 @@ pub mod stage {
     pub const SERVE_KERNEL_EVICT: &str = "serve/kernel_evict";
     /// Window generation performed on behalf of a served request.
     pub const SERVE_GENERATE: &str = "serve/generate";
+    /// Counter: server connections dropped because the peer stalled
+    /// past the per-connection read deadline (slow-loris defense).
+    pub const SERVE_CONN_TIMEOUT: &str = "serve/conn_timeout";
+    /// Counter: requests rejected because their connection was already
+    /// at its in-flight frame cap.
+    pub const SERVE_CONN_BUSY: &str = "serve/conn_busy";
+    /// Counter: generate requests refused with a typed `Draining` error
+    /// while the server was shutting down gracefully.
+    pub const SERVE_DRAINING_REJECT: &str = "serve/draining_reject";
+    /// Counter: sharded-client re-attempts after a retryable failure
+    /// (one per backoff sweep beyond the first).
+    pub const SERVE_CLIENT_RETRY: &str = "serve/client_retry";
+    /// Counter: sharded-client dispatches to a non-primary endpoint
+    /// because the rendezvous-preferred endpoint was down or skipped.
+    pub const SERVE_CLIENT_FAILOVER: &str = "serve/client_failover";
+    /// Counter: endpoints skipped by the sharded client's per-endpoint
+    /// circuit breaker (open after repeated consecutive failures).
+    pub const SERVE_CLIENT_BREAKER_SKIP: &str = "serve/client_breaker_skip";
+    /// Counter: fresh endpoint connections established by the sharded
+    /// client (first connects and reconnects after a failure alike).
+    pub const SERVE_CLIENT_CONNECT: &str = "serve/client_connect";
 }
 
 /// Destination for named counters and duration observations.

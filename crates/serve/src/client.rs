@@ -9,10 +9,36 @@
 use crate::wire::{
     self, FrameKind, GenerateErr, GenerateOk, GenerateRequest, Overloaded, OverloadReason,
 };
+use rrs_chaos::{ChaosInjector, FaultSite};
 use rrs_error::{ErrorKind, RrsError};
 use rrs_grid::Grid2;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side connection settings.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Bound on `connect` — an unreachable or partitioned endpoint
+    /// surfaces a typed, retryable [`ErrorKind::Unavailable`] instead of
+    /// hanging for the OS default (minutes).
+    pub connect_timeout: Duration,
+    /// Wire-level chaos injector ([`FaultSite::EndpointConnect`],
+    /// `FrameRead`, `FrameWrite` fire client-side). Disabled by default.
+    pub chaos: ChaosInjector,
+    /// How long an injected `Deadline` fault stalls the transport.
+    pub chaos_stall: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            chaos: ChaosInjector::disabled(),
+            chaos_stall: wire::DEFAULT_CHAOS_STALL,
+        }
+    }
+}
 
 /// A generation failure reported by the server, carrying the stable
 /// [`ErrorKind`] and the server-side message.
@@ -67,6 +93,24 @@ impl std::fmt::Display for ServeError {
     }
 }
 
+impl ServeError {
+    /// Whether failing over — resending the identical request to the
+    /// same or another endpoint — is both safe and promising. Safe is
+    /// unconditional (generation is stateless and idempotent), so this
+    /// answers "promising": transport failures (the connection is dead
+    /// or suspect either way), admission rejections, and the retryable
+    /// remote kinds (`Unavailable`, `Draining`, `Io`). Everything else
+    /// is a deterministic property of the request itself and fails
+    /// identically everywhere.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Self::Overloaded { .. } => true,
+            Self::Transport(_) => true,
+            Self::Remote(e) => e.kind.is_retryable(),
+        }
+    }
+}
+
 impl std::error::Error for ServeError {}
 
 impl From<RrsError> for ServeError {
@@ -92,29 +136,78 @@ enum Incoming {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    config: ClientConfig,
     /// Responses received while waiting for a different request id.
     stash: Vec<(u64, Response)>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with default [`ClientConfig`] (bounded
+    /// connect, chaos disabled).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| ServeError::Transport(RrsError::Io(e)))?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit settings. Each resolved address is tried
+    /// in turn under [`ClientConfig::connect_timeout`]; total failure
+    /// surfaces as a retryable [`ErrorKind::Unavailable`] transport
+    /// error — the caller (or a `ShardedClient`) may fail over.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, ServeError> {
+        if let Err(e) = config.chaos.poll_contained(FaultSite::EndpointConnect) {
+            return Err(ServeError::Transport(RrsError::unavailable(format!(
+                "injected connect fault: {e}"
+            ))));
+        }
+        let addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Transport(RrsError::unavailable(format!("resolve: {e}"))))?
+            .collect();
+        let mut last: Option<std::io::Error> = None;
+        let stream = addrs
+            .iter()
+            .find_map(|a| match TcpStream::connect_timeout(a, config.connect_timeout) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    last = Some(e);
+                    None
+                }
+            })
+            .ok_or_else(|| {
+                ServeError::Transport(RrsError::unavailable(match last {
+                    Some(e) => format!("connect: {e}"),
+                    None => "connect: no addresses resolved".into(),
+                }))
+            })?;
         let _ = stream.set_nodelay(true);
         let writer = stream.try_clone().map_err(|e| ServeError::Transport(RrsError::Io(e)))?;
-        Ok(Self { reader: BufReader::new(stream), writer, stash: Vec::new() })
+        Ok(Self { reader: BufReader::new(stream), writer, config, stash: Vec::new() })
     }
 
     /// Sends a request without waiting — the pipelining half.
     pub fn send(&mut self, req: &GenerateRequest) -> Result<(), ServeError> {
-        wire::write_frame(&mut self.writer, FrameKind::Generate, &req.encode())?;
+        self.write(FrameKind::Generate, &req.encode())
+    }
+
+    /// Writes one frame through the chaos seam.
+    fn write(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), ServeError> {
+        wire::write_frame_chaos(
+            &mut self.writer,
+            kind,
+            payload,
+            &self.config.chaos,
+            self.config.chaos_stall,
+        )?;
         Ok(())
     }
 
     /// Reads and classifies the next frame.
     fn read_incoming(&mut self, waiting_for: &str) -> Result<Incoming, ServeError> {
-        let (kind, payload) = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+        let (kind, payload) = wire::read_frame_chaos(
+            &mut self.reader,
+            &self.config.chaos,
+            self.config.chaos_stall,
+        )?
+        .ok_or_else(|| {
             ServeError::Transport(RrsError::corrupt_snapshot(format!(
                 "server closed the connection while {waiting_for} was pending"
             )))
@@ -195,7 +288,7 @@ impl Client {
     /// Fetches the server's metrics report as JSON, stashing any
     /// generation responses that arrive first.
     pub fn metrics(&mut self) -> Result<String, ServeError> {
-        wire::write_frame(&mut self.writer, FrameKind::Metrics, &[])?;
+        self.write(FrameKind::Metrics, &[])?;
         loop {
             match self.read_incoming("metrics")? {
                 Incoming::Metrics(json) => return Ok(json),
@@ -207,7 +300,7 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ServeError> {
-        wire::write_frame(&mut self.writer, FrameKind::Ping, &[])?;
+        self.write(FrameKind::Ping, &[])?;
         loop {
             match self.read_incoming("a pong")? {
                 Incoming::Pong => return Ok(()),

@@ -23,6 +23,16 @@
 //! * **Observability** — a `Metrics` frame returns the server's
 //!   [`rrs_obs::ObsReport`] as JSON (requests, batches, coalesced jobs,
 //!   cache hits/misses/evictions, overloads, plus all library stages).
+//! * **Resilience** ([`sharded`]) — a [`ShardedClient`] routes by
+//!   rendezvous hashing on the coalescing key across N endpoints, with
+//!   per-endpoint circuit breakers, deadline-aware retry with
+//!   deterministic jittered backoff, and automatic failover (safe
+//!   because generation is stateless and idempotent). The server side
+//!   hardens connections with read/write deadlines, a per-connection
+//!   in-flight cap, and a graceful [`ServerHandle::drain`] mode that
+//!   rejects new work with a typed retryable `Draining` error while
+//!   finishing the queue. Both halves of the wire carry a chaos seam
+//!   ([`rrs_chaos`] network fault sites) for replayable fault drills.
 //!
 //! Served output is bit-identical to calling the library directly with
 //! the same spectrum, sizing, seed and window — the loopback suite in
@@ -51,10 +61,12 @@
 
 mod client;
 mod server;
+pub mod sharded;
 pub mod wire;
 
-pub use client::{Client, RemoteError, Response, ServeError};
+pub use client::{Client, ClientConfig, RemoteError, Response, ServeError};
 pub use server::{serve, ServeConfig, ServerHandle, TenantQuota};
+pub use sharded::{ShardedClient, ShardedConfig};
 pub use wire::{
     FrameKind, GenerateErr, GenerateOk, GenerateRequest, Overloaded, OverloadReason,
     RequestOptions,

@@ -32,7 +32,8 @@
 use crate::wire::{
     self, FrameKind, GenerateErr, GenerateRequest, Overloaded, OverloadReason,
 };
-use rrs_error::{Budget, CancelToken, RrsError};
+use rrs_chaos::{ChaosInjector, FaultSite};
+use rrs_error::{Budget, CancelToken, ErrorKind, RrsError};
 use rrs_fft::FftPlanCache;
 use rrs_obs::report::ObsReport;
 use rrs_obs::{stage, ObsSink, Recorder};
@@ -40,6 +41,7 @@ use rrs_surface::{ConvolutionGenerator, ConvolutionKernel, GenContext, KernelSiz
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -79,6 +81,24 @@ pub struct ServeConfig {
     pub default_quota: TenantQuota,
     /// Per-tenant quota overrides.
     pub tenant_quotas: Vec<(u64, TenantQuota)>,
+    /// Per-connection read deadline (slow-loris defense): a peer that
+    /// goes quiet for this long — mid-frame or idle — has its reader
+    /// thread reclaimed and the connection closed. `None` disables.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline: a peer that stops draining its
+    /// receive buffer cannot pin a worker in `write` forever.
+    pub write_timeout: Option<Duration>,
+    /// Requests one connection may have queued or generating at once;
+    /// excess frames get a typed [`Overloaded`] (`ConnectionBusy`)
+    /// reply. Bounds per-connection pipelining independently of the
+    /// per-tenant quota.
+    pub max_conn_in_flight: usize,
+    /// Wire-level chaos injector ([`FaultSite::ConnAccept`],
+    /// `FrameRead`, `FrameWrite` fire server-side). Disabled by
+    /// default; the disabled form is one branch per poll.
+    pub chaos: ChaosInjector,
+    /// How long an injected `Deadline` fault stalls the transport.
+    pub chaos_stall: Duration,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +111,11 @@ impl Default for ServeConfig {
             kernel_cache_capacity: 8,
             default_quota: TenantQuota::default(),
             tenant_quotas: Vec::new(),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_conn_in_flight: 64,
+            chaos: ChaosInjector::disabled(),
+            chaos_stall: wire::DEFAULT_CHAOS_STALL,
         }
     }
 }
@@ -178,6 +203,9 @@ struct Job {
     key: GenKey,
     req: GenerateRequest,
     conn: Arc<Mutex<TcpStream>>,
+    /// This connection's in-flight count, released after the response
+    /// is written (enforces [`ServeConfig::max_conn_in_flight`]).
+    conn_slots: Arc<AtomicUsize>,
 }
 
 #[derive(Default)]
@@ -213,6 +241,9 @@ struct Shared {
     /// blocked `read` too — clones share the underlying socket).
     conns: Mutex<Vec<TcpStream>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Graceful-shutdown mode: stop accepting, reject new requests
+    /// with a typed `Draining` error, finish the queue, then exit.
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -285,11 +316,29 @@ impl Shared {
     }
 }
 
-/// Writes a frame to a connection, ignoring a dead peer (the job still
-/// completes server-side either way).
-fn respond(conn: &Mutex<TcpStream>, kind: FrameKind, payload: &[u8]) {
+/// Writes a frame to a connection through the chaos seam, ignoring a
+/// dead peer (the job still completes server-side either way).
+fn respond(shared: &Shared, conn: &Mutex<TcpStream>, kind: FrameKind, payload: &[u8]) {
     let mut stream = conn.lock().expect("connection poisoned");
-    let _ = wire::write_frame(&mut *stream, kind, payload);
+    let _ = wire::write_frame_chaos(
+        &mut *stream,
+        kind,
+        payload,
+        &shared.config.chaos,
+        shared.config.chaos_stall,
+    );
+}
+
+/// True for the `read` errors a socket read deadline produces
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_read_timeout(e: &RrsError) -> bool {
+    matches!(
+        e,
+        RrsError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
 }
 
 fn reader_loop(shared: &Shared, stream: TcpStream) {
@@ -297,28 +346,47 @@ fn reader_loop(shared: &Shared, stream: TcpStream) {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // This connection's in-flight count; workers release slots as they
+    // write responses.
+    let conn_slots = Arc::new(AtomicUsize::new(0));
     let mut r = BufReader::new(stream);
     loop {
-        match wire::read_frame(&mut r) {
+        match wire::read_frame_chaos(&mut r, &shared.config.chaos, shared.config.chaos_stall) {
             Ok(None) => return,
-            Ok(Some((FrameKind::Ping, _))) => respond(&conn, FrameKind::Pong, &[]),
+            Ok(Some((FrameKind::Ping, _))) => respond(shared, &conn, FrameKind::Pong, &[]),
             Ok(Some((FrameKind::Metrics, _))) => {
                 let json = shared.obs.report().to_json("");
-                respond(&conn, FrameKind::MetricsReport, json.as_bytes());
+                respond(shared, &conn, FrameKind::MetricsReport, json.as_bytes());
             }
-            Ok(Some((FrameKind::Generate, payload))) => handle_generate(shared, &conn, &payload),
+            Ok(Some((FrameKind::Generate, payload))) => {
+                handle_generate(shared, &conn, &conn_slots, &payload)
+            }
             Ok(Some((kind, _))) => {
                 // A response kind arriving at the server is a protocol
                 // violation; answer typed and hang up.
                 let e = RrsError::corrupt_snapshot(format!("unexpected frame kind {kind:?}"));
-                respond(&conn, FrameKind::GenerateErr, &GenerateErr::from_error(0, &e).encode());
+                respond(shared, &conn, FrameKind::GenerateErr, &GenerateErr::from_error(0, &e).encode());
+                return;
+            }
+            Err(e) if is_read_timeout(&e) => {
+                // Slow-loris defense: the peer sat quiet past the read
+                // deadline (idle or mid-frame). The stream position is
+                // unknowable, so close without a reply and reclaim the
+                // thread. Shut the socket down explicitly — a clone
+                // lives in the shutdown registry, so dropping ours
+                // would leave the connection half-open.
+                shared.obs.add_counter(stage::SERVE_CONN_TIMEOUT, 1);
+                let _ = conn
+                    .lock()
+                    .expect("connection poisoned")
+                    .shutdown(std::net::Shutdown::Both);
                 return;
             }
             Err(e) => {
                 // Fail closed: a malformed frame gets a typed reply and
                 // the connection closes (the stream may be mid-frame, so
                 // no further decode is safe).
-                respond(&conn, FrameKind::GenerateErr, &GenerateErr::from_error(0, &e).encode());
+                respond(shared, &conn, FrameKind::GenerateErr, &GenerateErr::from_error(0, &e).encode());
                 return;
             }
         }
@@ -328,13 +396,32 @@ fn reader_loop(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn handle_generate(shared: &Shared, conn: &Arc<Mutex<TcpStream>>, payload: &[u8]) {
+fn handle_generate(
+    shared: &Shared,
+    conn: &Arc<Mutex<TcpStream>>,
+    conn_slots: &Arc<AtomicUsize>,
+    payload: &[u8],
+) {
     shared.obs.add_counter(stage::SERVE_REQUESTS, 1);
+    if shared.draining.load(Ordering::SeqCst) {
+        // Draining: typed, retryable rejection before any decode work —
+        // the client's failover layer moves the request to a live
+        // endpoint.
+        shared.obs.add_counter(stage::SERVE_DRAINING_REJECT, 1);
+        let id = GenerateRequest::peek_request_id(payload);
+        respond(
+            shared,
+            conn,
+            FrameKind::GenerateErr,
+            &GenerateErr::from_error(id, &RrsError::Draining).encode(),
+        );
+        return;
+    }
     let req = match GenerateRequest::decode(payload) {
         Ok(req) => req,
         Err(e) => {
             let id = GenerateRequest::peek_request_id(payload);
-            respond(conn, FrameKind::GenerateErr, &GenerateErr::from_error(id, &e).encode());
+            respond(shared, conn, FrameKind::GenerateErr, &GenerateErr::from_error(id, &e).encode());
             return;
         }
     };
@@ -344,13 +431,34 @@ fn handle_generate(shared: &Shared, conn: &Arc<Mutex<TcpStream>>, payload: &[u8]
     let gate = Budget::unlimited().with_max_bytes(quota.max_request_bytes);
     if let Err(e) = gate.admit("serve/window", req.output_bytes()) {
         respond(
+            shared,
             conn,
             FrameKind::GenerateErr,
             &GenerateErr::from_error(req.request_id, &e).encode(),
         );
         return;
     }
-    let job = Job { key: GenKey::of(&req), req, conn: Arc::clone(conn) };
+    // Per-connection pipelining cap. The reader is this connection's
+    // only admitter, so check-then-increment cannot overshoot: workers
+    // only ever decrement concurrently.
+    if conn_slots.load(Ordering::Acquire) >= shared.config.max_conn_in_flight.max(1) {
+        shared.obs.add_counter(stage::SERVE_CONN_BUSY, 1);
+        shared.obs.add_counter(stage::SERVE_OVERLOADED, 1);
+        let depth = shared.queue.lock().expect("queue poisoned").jobs.len() as u32;
+        let over = Overloaded {
+            request_id: req.request_id,
+            reason: OverloadReason::ConnectionBusy,
+            queue_depth: depth,
+        };
+        respond(shared, conn, FrameKind::Overloaded, &over.encode());
+        return;
+    }
+    let job = Job {
+        key: GenKey::of(&req),
+        req,
+        conn: Arc::clone(conn),
+        conn_slots: Arc::clone(conn_slots),
+    };
     let rejection = {
         let mut q = shared.queue.lock().expect("queue poisoned");
         if q.jobs.len() >= shared.config.queue_capacity {
@@ -359,6 +467,7 @@ fn handle_generate(shared: &Shared, conn: &Arc<Mutex<TcpStream>>, payload: &[u8]
             Some(OverloadReason::TenantQuota)
         } else {
             *q.in_flight.entry(job.req.tenant).or_insert(0) += 1;
+            conn_slots.fetch_add(1, Ordering::AcqRel);
             q.jobs.push_back(job);
             shared.ready.notify_one();
             None
@@ -368,7 +477,7 @@ fn handle_generate(shared: &Shared, conn: &Arc<Mutex<TcpStream>>, payload: &[u8]
         shared.obs.add_counter(stage::SERVE_OVERLOADED, 1);
         let depth = shared.queue.lock().expect("queue poisoned").jobs.len() as u32;
         let over = Overloaded { request_id: req.request_id, reason, queue_depth: depth };
-        respond(conn, FrameKind::Overloaded, &over.encode());
+        respond(shared, conn, FrameKind::Overloaded, &over.encode());
     }
 }
 
@@ -382,6 +491,11 @@ fn worker_loop(shared: &Shared) {
                 }
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
+                }
+                // Draining + empty queue: every admitted job has been
+                // served and responded to; the pool can exit.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
                 }
                 q = shared.ready.wait(q).expect("queue poisoned");
             };
@@ -439,13 +553,14 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
         match outcome {
             Ok(grid) => {
                 let ok = wire::GenerateOk { request_id: job.req.request_id, grid };
-                respond(&job.conn, FrameKind::GenerateOk, &ok.encode());
+                respond(shared, &job.conn, FrameKind::GenerateOk, &ok.encode());
             }
             Err(e) => {
                 let err = GenerateErr::from_error(job.req.request_id, &e);
-                respond(&job.conn, FrameKind::GenerateErr, &err.encode());
+                respond(shared, &job.conn, FrameKind::GenerateErr, &err.encode());
             }
         }
+        job.conn_slots.fetch_sub(1, Ordering::AcqRel);
         shared.finish_job(job.req.tenant);
     }
 }
@@ -474,6 +589,40 @@ impl ServerHandle {
     /// and joins all threads. Queued-but-unserved jobs are dropped.
     pub fn shutdown(mut self) {
         self.stop();
+    }
+
+    /// Graceful shutdown: stops accepting new connections, rejects new
+    /// requests with a typed retryable `Draining` error, finishes every
+    /// queued job, flushes its response, then tears the server down.
+    ///
+    /// Unlike [`ServerHandle::shutdown`], no admitted request is ever
+    /// dropped — a failover client moves rejected requests to another
+    /// endpoint while this one empties. Returns the final metrics
+    /// report (the handle is consumed, so this is the last look).
+    pub fn drain(mut self) -> ObsReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the flag and exits —
+        // no new connections after this point.
+        let _ = TcpStream::connect(self.addr);
+        // Wake parked workers; each keeps popping until the queue is
+        // empty, then observes the draining flag and exits, so every
+        // admitted job has its response written before the pool is gone.
+        self.shared.ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Responses are flushed; now close the connections and join the
+        // readers (`stop` is a no-op once `threads` is empty).
+        self.shared.cancel.cancel();
+        for conn in self.shared.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let readers: Vec<_> =
+            self.shared.readers.lock().expect("readers poisoned").drain(..).collect();
+        for t in readers {
+            let _ = t.join();
+        }
+        self.shared.obs.report()
     }
 
     fn stop(&mut self) {
@@ -523,6 +672,7 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, RrsError> {
         cache: Mutex::new(KernelCache::default()),
         conns: Mutex::new(Vec::new()),
         readers: Mutex::new(Vec::new()),
+        draining: AtomicBool::new(false),
     });
     let mut threads = Vec::with_capacity(workers + 1);
     for _ in 0..workers {
@@ -533,11 +683,27 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, RrsError> {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || {
             for stream in listener.incoming() {
-                if shared.cancel.is_cancelled() {
+                if shared.cancel.is_cancelled() || shared.draining.load(Ordering::SeqCst) {
                     return;
                 }
                 let Ok(stream) = stream else { continue };
+                match shared.config.chaos.poll_contained(FaultSite::ConnAccept) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == ErrorKind::DeadlineExceeded => {
+                        // Injected stall: the accept path hangs, then
+                        // proceeds — late connections, not lost ones.
+                        std::thread::sleep(shared.config.chaos_stall);
+                    }
+                    Err(_) => {
+                        // Injected accept failure: the connection dies
+                        // before a reader exists; the peer sees a reset.
+                        drop(stream);
+                        continue;
+                    }
+                }
                 let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(shared.config.read_timeout);
+                let _ = stream.set_write_timeout(shared.config.write_timeout);
                 if let Ok(clone) = stream.try_clone() {
                     shared.conns.lock().expect("conns poisoned").push(clone);
                 }

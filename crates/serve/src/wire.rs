@@ -26,11 +26,13 @@
 //! [`Window::try_new`]), so no malformed parameter survives past the
 //! codec boundary.
 
+use rrs_chaos::{ChaosInjector, FaultSite};
 use rrs_error::{ErrorKind, RrsError};
 use rrs_grid::{Grid2, Window};
 use rrs_spectrum::{PowerLaw, SpectrumModel, SurfaceParams};
 use rrs_surface::ConvBackend;
 use std::io::{Read, Write};
+use std::time::Duration;
 
 /// Frame prefix — "RRS Frame".
 pub const MAGIC: [u8; 4] = *b"RRSF";
@@ -91,8 +93,9 @@ impl FrameKind {
     }
 }
 
-/// Writes one frame. The only I/O errors are the writer's own.
-pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), RrsError> {
+/// Assembles one complete frame (magic, header, payload, checksum) as a
+/// contiguous byte buffer, ready for a single `write_all`.
+fn encode_frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD, "oversized frame");
     let len = payload.len() as u32;
     let mut head = [0u8; 5];
@@ -104,14 +107,19 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
         crc ^= u64::from(b);
         crc = crc.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    // One contiguous write: a frame split across small TCP segments
-    // trips Nagle + delayed-ACK stalls (tens of ms per round trip).
     let mut frame = Vec::with_capacity(17 + payload.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&head);
     frame.extend_from_slice(payload);
     frame.extend_from_slice(&crc.to_le_bytes());
-    w.write_all(&frame).map_err(RrsError::Io)?;
+    frame
+}
+
+/// Writes one frame. The only I/O errors are the writer's own.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), RrsError> {
+    // One contiguous write: a frame split across small TCP segments
+    // trips Nagle + delayed-ACK stalls (tens of ms per round trip).
+    w.write_all(&encode_frame_bytes(kind, payload)).map_err(RrsError::Io)?;
     w.flush().map_err(RrsError::Io)?;
     Ok(())
 }
@@ -157,6 +165,97 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(FrameKind, Vec<u8>)>, Rrs
     }
     let kind = FrameKind::from_u8(head[0])?;
     Ok(Some((kind, payload)))
+}
+
+// ---------------------------------------------------------------------------
+// Chaos transport seam
+// ---------------------------------------------------------------------------
+//
+// Every serving frame crosses the wire through these two functions when
+// a `ChaosInjector` is armed, so a seeded `FaultSchedule` can kill a
+// connection mid-frame, stall an exchange past a peer's deadline, or
+// hang up cleanly at an exact visit index — with the same replayability
+// as every compute-pipeline site. The `FaultKind` mapping at wire sites:
+//
+// | kind       | read side                         | write side                           |
+// |------------|-----------------------------------|--------------------------------------|
+// | `Error`    | connection reset before the read  | **truncated prefix** written, reset  |
+// | `Cancel`   | clean peer hang-up (`Ok(None)`)   | broken pipe before any byte          |
+// | `Deadline` | stall `stall` then read normally  | stall `stall` then write normally    |
+// | `Panic`    | contained → connection aborted    | contained → connection aborted       |
+//
+// The mid-frame truncation on `Error` writes is what makes the peer
+// observe a genuine torn frame ("connection closed mid-frame") instead
+// of a tidy error the codec never sees in production.
+
+/// How long a [`rrs_chaos::FaultKind::Deadline`] fault stalls the wire
+/// when the caller does not choose a stall.
+pub const DEFAULT_CHAOS_STALL: Duration = Duration::from_millis(200);
+
+/// Maps a fired wire fault into the transport error the peerless side
+/// sees. `Cancel` is handled by the callers (it has per-direction
+/// semantics); everything else is an I/O-shaped failure.
+fn wire_fault_to_io(e: RrsError, what: &str) -> RrsError {
+    let kind = match e.kind() {
+        ErrorKind::FaultInjected => std::io::ErrorKind::ConnectionReset,
+        _ => std::io::ErrorKind::ConnectionAborted,
+    };
+    RrsError::Io(std::io::Error::new(kind, format!("chaos: injected {what} failure: {e}")))
+}
+
+/// [`read_frame`] behind the chaos seam: polls
+/// [`FaultSite::FrameRead`] before touching the stream. Disabled
+/// injectors cost one discriminant test.
+pub fn read_frame_chaos(
+    r: &mut impl Read,
+    chaos: &ChaosInjector,
+    stall: Duration,
+) -> Result<Option<(FrameKind, Vec<u8>)>, RrsError> {
+    if chaos.is_enabled() {
+        match chaos.poll_contained(FaultSite::FrameRead) {
+            Ok(()) => {}
+            Err(RrsError::Cancelled) => return Ok(None), // clean peer hang-up
+            Err(RrsError::DeadlineExceeded) => std::thread::sleep(stall),
+            Err(e) => return Err(wire_fault_to_io(e, "read")),
+        }
+    }
+    read_frame(r)
+}
+
+/// [`write_frame`] behind the chaos seam: polls
+/// [`FaultSite::FrameWrite`] and, for an injected `Error`, writes a
+/// *truncated prefix* of the assembled frame before failing — the peer
+/// sees a genuine mid-frame disconnect, not a clean boundary.
+pub fn write_frame_chaos(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+    chaos: &ChaosInjector,
+    stall: Duration,
+) -> Result<(), RrsError> {
+    if chaos.is_enabled() {
+        match chaos.poll_contained(FaultSite::FrameWrite) {
+            Ok(()) => {}
+            Err(RrsError::Cancelled) => {
+                return Err(RrsError::Io(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "chaos: connection closed before the frame",
+                )))
+            }
+            Err(RrsError::DeadlineExceeded) => std::thread::sleep(stall),
+            Err(e @ RrsError::FaultInjected { .. }) => {
+                // Deterministic mid-frame kill: half the frame (always at
+                // least the magic, never the whole thing) then a reset.
+                let frame = encode_frame_bytes(kind, payload);
+                let cut = (frame.len() / 2).max(MAGIC.len());
+                let _ = w.write_all(&frame[..cut]);
+                let _ = w.flush();
+                return Err(wire_fault_to_io(e, "write"));
+            }
+            Err(e) => return Err(wire_fault_to_io(e, "write")),
+        }
+    }
+    write_frame(w, kind, payload)
 }
 
 enum ReadOutcome {
@@ -270,6 +369,8 @@ pub fn error_kind_to_wire(kind: ErrorKind) -> u8 {
         ErrorKind::DeadlineExceeded => 8,
         ErrorKind::BudgetExceeded => 9,
         ErrorKind::FaultInjected => 10,
+        ErrorKind::Unavailable => 11,
+        ErrorKind::Draining => 12,
     }
 }
 
@@ -286,6 +387,8 @@ pub fn error_kind_from_wire(v: u8) -> Result<ErrorKind, RrsError> {
         8 => ErrorKind::DeadlineExceeded,
         9 => ErrorKind::BudgetExceeded,
         10 => ErrorKind::FaultInjected,
+        11 => ErrorKind::Unavailable,
+        12 => ErrorKind::Draining,
         other => return Err(RrsError::corrupt_snapshot(format!("unknown error kind {other}"))),
     })
 }
@@ -554,6 +657,34 @@ impl GenerateRequest {
             .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
             .unwrap_or(0)
     }
+
+    /// The request's shard key: an FNV-1a hash over exactly the fields
+    /// of the server's coalescing `GenKey` (spectrum family and
+    /// parameters, truncation, sizing, backend, worker override) — and
+    /// deliberately *not* the seed, window, ids or budgets.
+    ///
+    /// Two requests that would share a cached kernel on one server hash
+    /// to the same shard key, so rendezvous routing on this key sends a
+    /// kernel family to one shard and keeps every shard's kernel LRU
+    /// disjoint. The hash is a pure function of the request bits —
+    /// shard choice is replayable, never dependent on connection state.
+    pub fn shard_key(&self) -> u64 {
+        let (family, params, n) = match self.spectrum {
+            SpectrumModel::Gaussian(m) => (1u8, m.params, 0.0),
+            SpectrumModel::PowerLaw(m) => (2u8, m.params, m.n),
+            SpectrumModel::Exponential(m) => (3u8, m.params, 0.0),
+        };
+        let mut bytes = Vec::with_capacity(64);
+        bytes.push(family);
+        for v in [params.h, params.clx, params.cly, n, self.truncation.unwrap_or(0.0), self.sizing_factor] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        bytes.extend_from_slice(&self.sizing_min.to_le_bytes());
+        bytes.extend_from_slice(&self.sizing_max.to_le_bytes());
+        bytes.push(backend_to_wire(self.options.backend));
+        bytes.extend_from_slice(&self.options.workers.to_le_bytes());
+        fnv1a(&bytes)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -666,6 +797,9 @@ pub enum OverloadReason {
     QueueFull,
     /// The tenant is at its in-flight request cap.
     TenantQuota,
+    /// This connection is at its in-flight frame cap (one peer may not
+    /// monopolise the queue by pipelining unboundedly).
+    ConnectionBusy,
 }
 
 /// An admission-control rejection — sent *before* the request consumes
@@ -689,6 +823,7 @@ impl Overloaded {
         out.push(match self.reason {
             OverloadReason::QueueFull => 0,
             OverloadReason::TenantQuota => 1,
+            OverloadReason::ConnectionBusy => 2,
         });
         out.extend_from_slice(&self.queue_depth.to_le_bytes());
         out
@@ -701,6 +836,7 @@ impl Overloaded {
         let reason = match c.u8()? {
             0 => OverloadReason::QueueFull,
             1 => OverloadReason::TenantQuota,
+            2 => OverloadReason::ConnectionBusy,
             other => {
                 return Err(RrsError::corrupt_snapshot(format!(
                     "unknown overload reason {other}"
@@ -845,11 +981,85 @@ mod tests {
             (ErrorKind::DeadlineExceeded, 8),
             (ErrorKind::BudgetExceeded, 9),
             (ErrorKind::FaultInjected, 10),
+            (ErrorKind::Unavailable, 11),
+            (ErrorKind::Draining, 12),
         ];
         for (kind, wire) in all {
             assert_eq!(error_kind_to_wire(kind), wire);
             assert_eq!(error_kind_from_wire(wire).unwrap(), kind);
         }
         assert_eq!(error_kind_from_wire(0).unwrap_err().kind(), ErrorKind::CorruptSnapshot);
+        assert_eq!(error_kind_from_wire(13).unwrap_err().kind(), ErrorKind::CorruptSnapshot);
+    }
+
+    #[test]
+    fn shard_key_tracks_the_coalescing_key_not_the_request_identity() {
+        let base = sample_request();
+        let mut same_shard = base;
+        same_shard.request_id = 999;
+        same_shard.tenant = 5;
+        same_shard.seed = 0xF00D;
+        same_shard.window = Window::new(1_000, -1_000, 7, 11);
+        same_shard.options.deadline_ms = 250;
+        same_shard.options.max_bytes = 1 << 16;
+        assert_eq!(
+            base.shard_key(),
+            same_shard.shard_key(),
+            "seed/window/ids/budgets must not move a request across shards"
+        );
+        let other_kernel = base.with_truncation(5e-2);
+        assert_ne!(base.shard_key(), other_kernel.shard_key(), "a different kernel reroutes");
+        let other_backend = base.with_backend(ConvBackend::Direct);
+        assert_ne!(base.shard_key(), other_backend.shard_key());
+    }
+
+    #[test]
+    fn chaos_seam_is_transparent_when_disabled_and_typed_when_armed() {
+        use rrs_chaos::{ChaosInjector, FaultKind, FaultSchedule};
+        let req = sample_request();
+        let stall = Duration::from_millis(1);
+
+        // Disabled: byte-identical to the plain functions.
+        let chaos = ChaosInjector::disabled();
+        let mut plain = Vec::new();
+        write_frame(&mut plain, FrameKind::Generate, &req.encode()).unwrap();
+        let mut seamed = Vec::new();
+        write_frame_chaos(&mut seamed, FrameKind::Generate, &req.encode(), &chaos, stall).unwrap();
+        assert_eq!(plain, seamed, "disabled seam must not change a byte");
+        let (kind, payload) = read_frame_chaos(&mut seamed.as_slice(), &chaos, stall).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Generate);
+        assert_eq!(GenerateRequest::decode(&payload).unwrap(), req);
+
+        // An injected write error leaves a torn frame: the peer's codec
+        // fails closed on it, exactly like a real mid-frame disconnect.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(1).with_fault(FaultSite::FrameWrite, FaultKind::Error, 0),
+        );
+        let mut torn = Vec::new();
+        let err = write_frame_chaos(&mut torn, FrameKind::Generate, &req.encode(), &chaos, stall)
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(!torn.is_empty() && torn.len() < plain.len(), "prefix, not all or nothing");
+        assert_eq!(&torn[..4], &MAGIC, "the torn frame still starts plausibly");
+        assert_eq!(
+            read_frame(&mut torn.as_slice()).unwrap_err().kind(),
+            ErrorKind::CorruptSnapshot,
+            "the peer must see a typed mid-frame disconnect"
+        );
+
+        // An injected read cancel reads as a clean hang-up; an injected
+        // read error is a typed I/O failure before any byte is consumed.
+        let chaos = ChaosInjector::new(
+            FaultSchedule::new(2)
+                .with_fault(FaultSite::FrameRead, FaultKind::Cancel, 0)
+                .with_fault(FaultSite::FrameRead, FaultKind::Error, 1),
+        );
+        assert!(read_frame_chaos(&mut plain.as_slice(), &chaos, stall).unwrap().is_none());
+        let err = read_frame_chaos(&mut plain.as_slice(), &chaos, stall).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        // Visit 2: nothing armed, the stream reads through untouched.
+        let (kind, _) = read_frame_chaos(&mut plain.as_slice(), &chaos, stall).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Generate);
+        assert_eq!(chaos.injected(), 2);
     }
 }

@@ -127,6 +127,41 @@ fn a_stomped_magic_fails_closed() {
     });
 }
 
+/// The client read path's half of the mid-frame-disconnect story: a
+/// `GenerateOk` response truncated at *every* byte boundary — the wire
+/// image of a server dying mid-write — reads back as a typed error (or
+/// clean EOF at zero bytes), never a partial window. Exhaustive, not
+/// sampled: every prefix length of a real response frame is tried.
+#[test]
+fn a_response_truncated_at_every_byte_boundary_never_yields_a_partial_window() {
+    use rrs_grid::Grid2;
+    use rrs_serve::wire::GenerateOk;
+    let ok = GenerateOk {
+        request_id: 77,
+        grid: Grid2::from_fn(5, 3, |x, y| (x as f64) * 0.5 - (y as f64) * 0.25),
+    };
+    let mut clean = Vec::new();
+    write_frame(&mut clean, FrameKind::GenerateOk, &ok.encode()).expect("Vec write");
+    for keep in 0..clean.len() {
+        let bytes = truncated(&clean, keep);
+        match read_frame(&mut &bytes[..]) {
+            Ok(None) => assert_eq!(keep, 0, "clean EOF is only legal for an empty stream"),
+            Ok(Some(_)) => panic!("truncation to {keep}/{} bytes decoded a frame", clean.len()),
+            Err(e) => assert_eq!(
+                e.kind(),
+                ErrorKind::CorruptSnapshot,
+                "truncation to {keep} bytes: typed framing error, got {e}"
+            ),
+        }
+    }
+    // And the untouched frame still round-trips to the full window.
+    let (kind, payload) = read_frame(&mut &clean[..]).expect("valid").expect("one frame");
+    assert_eq!(kind, FrameKind::GenerateOk);
+    let back = GenerateOk::decode(&payload).expect("valid payload");
+    assert_eq!(back.request_id, 77);
+    assert_eq!(back.grid, ok.grid);
+}
+
 /// Corrupting only the *payload* region (leaving framing intact) still
 /// fails closed: the checksum covers the payload, so the frame itself
 /// is rejected before the request decoder ever runs.

@@ -120,7 +120,10 @@ pub mod prelude {
     };
     pub use rrs_stats::{validate_region, RegionReport};
     pub use rrs_fft::FftPlanCache;
-    pub use rrs_serve::{Client, GenerateRequest, ServeConfig, ServeError, TenantQuota};
+    pub use rrs_serve::{
+        Client, ClientConfig, GenerateRequest, ServeConfig, ServeError, ShardedClient,
+        ShardedConfig, TenantQuota,
+    };
     pub use rrs_surface::{
         BackendHealth, ConvBackend, ConvolutionGenerator, ConvolutionKernel, DirectDftGenerator,
         GenContext, KernelSizing, LineGenerator, LineKernel, NoiseField, StripGenerator,
