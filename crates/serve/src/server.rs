@@ -82,8 +82,11 @@ pub struct ServeConfig {
     /// Per-tenant quota overrides.
     pub tenant_quotas: Vec<(u64, TenantQuota)>,
     /// Per-connection read deadline (slow-loris defense): a peer that
-    /// goes quiet for this long — mid-frame or idle — has its reader
-    /// thread reclaimed and the connection closed. `None` disables.
+    /// goes quiet for this long — mid-frame, or idle with nothing in
+    /// flight — has its reader thread reclaimed and the connection
+    /// closed. A quiet peer whose requests are still queued or
+    /// generating is spared: it is waiting on responses, not stalling
+    /// the server. `None` disables.
     pub read_timeout: Option<Duration>,
     /// Per-connection write deadline: a peer that stops draining its
     /// receive buffer cannot pin a worker in `write` forever.
@@ -369,6 +372,22 @@ fn reader_loop(shared: &Shared, stream: TcpStream) {
                 return;
             }
             Err(e) if is_read_timeout(&e) => {
+                // A quiet peer with work still in flight is not a slow
+                // loris: it pipelined requests and is waiting on its
+                // responses, sending nothing. As long as the deadline
+                // struck at a frame boundary (no partial frame on the
+                // stream — the position is still decodable) and this
+                // connection has requests queued or generating, keep
+                // the reader alive; severing now would discard every
+                // pending response.
+                if wire::timed_out_at_boundary(&e)
+                    && conn_slots.load(Ordering::Acquire) > 0
+                {
+                    if shared.cancel.is_cancelled() {
+                        return;
+                    }
+                    continue;
+                }
                 // Slow-loris defense: the peer sat quiet past the read
                 // deadline (idle or mid-frame). The stream position is
                 // unknowable, so close without a reply and reclaim the
@@ -459,12 +478,23 @@ fn handle_generate(
         conn: Arc::clone(conn),
         conn_slots: Arc::clone(conn_slots),
     };
+    enum Rejection {
+        Draining,
+        Overloaded(OverloadReason),
+    }
     let rejection = {
         let mut q = shared.queue.lock().expect("queue poisoned");
-        if q.jobs.len() >= shared.config.queue_capacity {
-            Some(OverloadReason::QueueFull)
+        // Authoritative drain check: `drain()` raises the flag while
+        // holding this lock, so a request is either rejected here or
+        // enqueued before a worker can observe empty + draining and
+        // exit — an admitted job is never stranded by a gone pool. The
+        // pre-decode check above is only a fast path.
+        if shared.draining.load(Ordering::SeqCst) {
+            Some(Rejection::Draining)
+        } else if q.jobs.len() >= shared.config.queue_capacity {
+            Some(Rejection::Overloaded(OverloadReason::QueueFull))
         } else if q.in_flight.get(&job.req.tenant).copied().unwrap_or(0) >= quota.max_in_flight {
-            Some(OverloadReason::TenantQuota)
+            Some(Rejection::Overloaded(OverloadReason::TenantQuota))
         } else {
             *q.in_flight.entry(job.req.tenant).or_insert(0) += 1;
             conn_slots.fetch_add(1, Ordering::AcqRel);
@@ -473,11 +503,23 @@ fn handle_generate(
             None
         }
     };
-    if let Some(reason) = rejection {
-        shared.obs.add_counter(stage::SERVE_OVERLOADED, 1);
-        let depth = shared.queue.lock().expect("queue poisoned").jobs.len() as u32;
-        let over = Overloaded { request_id: req.request_id, reason, queue_depth: depth };
-        respond(shared, conn, FrameKind::Overloaded, &over.encode());
+    match rejection {
+        None => {}
+        Some(Rejection::Draining) => {
+            shared.obs.add_counter(stage::SERVE_DRAINING_REJECT, 1);
+            respond(
+                shared,
+                conn,
+                FrameKind::GenerateErr,
+                &GenerateErr::from_error(req.request_id, &RrsError::Draining).encode(),
+            );
+        }
+        Some(Rejection::Overloaded(reason)) => {
+            shared.obs.add_counter(stage::SERVE_OVERLOADED, 1);
+            let depth = shared.queue.lock().expect("queue poisoned").jobs.len() as u32;
+            let over = Overloaded { request_id: req.request_id, reason, queue_depth: depth };
+            respond(shared, conn, FrameKind::Overloaded, &over.encode());
+        }
     }
 }
 
@@ -600,7 +642,17 @@ impl ServerHandle {
     /// endpoint while this one empties. Returns the final metrics
     /// report (the handle is consumed, so this is the last look).
     pub fn drain(mut self) -> ObsReport {
-        self.shared.draining.store(true, Ordering::SeqCst);
+        // Raise the flag while holding the queue lock: admission
+        // re-checks it under the same lock, so every in-flight
+        // admission either completed its enqueue before this store
+        // (workers will pop it — they only exit on empty + draining)
+        // or will observe the flag and reject with `Draining`. Without
+        // the lock, a request checked just before the store could be
+        // enqueued just after the last worker exits, stranding it.
+        {
+            let _q = self.shared.queue.lock().expect("queue poisoned");
+            self.shared.draining.store(true, Ordering::SeqCst);
+        }
         // Unblock the accept loop so it observes the flag and exits —
         // no new connections after this point.
         let _ = TcpStream::connect(self.addr);

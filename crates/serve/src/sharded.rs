@@ -23,9 +23,12 @@
 //! A request makes up to [`ShardedConfig::max_sweeps`] passes over the
 //! HRW-ranked endpoints. Within a sweep, a retryable failure fails over
 //! to the next endpoint immediately; between sweeps the client backs
-//! off by `min(base·2^n, cap)` plus deterministic splitmix64 jitter,
-//! clamped against the per-request deadline (failing fast with
-//! `DeadlineExceeded` rather than sleeping through it). Per-endpoint
+//! off — starting at `base` and doubling up to `cap` — plus
+//! deterministic splitmix64 jitter, checked against the per-request
+//! deadline before every sleep *and* every endpoint attempt (failing
+//! fast with `DeadlineExceeded` rather than sleeping or connecting
+//! through it, with fresh connects clamped to the remaining budget).
+//! Per-endpoint
 //! circuit breakers (the PR 7 `BackendHealth` pattern: open after 3
 //! consecutive failures, probe every 16th skip) keep a dead endpoint
 //! from eating a connect timeout per request — but if every breaker is
@@ -57,8 +60,9 @@ pub struct ShardedConfig {
     pub client: ClientConfig,
     /// Full passes over the ranked endpoints before giving up.
     pub max_sweeps: u32,
-    /// Backoff before sweep `n+1` is `min(base·2^n, max_backoff)` plus
-    /// jitter in `[0, backoff/2]`.
+    /// Backoff before the `n`th retry sweep (1-based) is
+    /// `min(base·2^(n-1), max_backoff)` plus jitter in `[0, backoff/2]`
+    /// — the first retry waits `base`, doubling from there.
     pub base_backoff: Duration,
     /// Backoff growth cap.
     pub max_backoff: Duration,
@@ -224,11 +228,27 @@ impl ShardedClient {
 
     /// One attempt against endpoint `i`: connect if needed, round-trip
     /// the request. A transport failure poisons the cached connection.
-    fn call(&mut self, i: usize, req: &GenerateRequest) -> Result<Grid2<f64>, ServeError> {
+    /// A fresh connect never waits longer than the remaining `deadline`
+    /// budget, so one unreachable endpoint cannot eat the whole window.
+    fn call(
+        &mut self,
+        i: usize,
+        req: &GenerateRequest,
+        deadline: Option<Instant>,
+    ) -> Result<Grid2<f64>, ServeError> {
         if self.conns[i].is_none() {
             self.obs.add_counter(stage::SERVE_CLIENT_CONNECT, 1);
-            let client =
-                Client::connect_with(&*self.config.endpoints[i], self.config.client.clone())?;
+            let mut client_config = self.config.client.clone();
+            if let Some(d) = deadline {
+                // Floored at 1 ms: `TcpStream::connect_timeout` rejects
+                // a zero duration, and a nearly-spent budget should
+                // still surface as a typed connect failure.
+                let remaining = d.saturating_duration_since(Instant::now());
+                client_config.connect_timeout = client_config
+                    .connect_timeout
+                    .min(remaining.max(Duration::from_millis(1)));
+            }
+            let client = Client::connect_with(&*self.config.endpoints[i], client_config)?;
             self.conns[i] = Some(client);
         }
         let out = self.conns[i].as_mut().expect("just connected").try_generate(req);
@@ -263,6 +283,17 @@ impl ShardedClient {
             }
             let mut attempted = false;
             for (pos, &i) in order.iter().enumerate() {
+                // Deadline check per attempt, not per sweep: each try
+                // can block for a connect timeout plus a round trip, so
+                // checking only at the backoff would let one sweep
+                // overshoot the budget by endpoints × connect_timeout.
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(last.unwrap_or(ServeError::Transport(
+                            RrsError::DeadlineExceeded,
+                        )));
+                    }
+                }
                 if !self.health[i].should_try() {
                     self.obs.add_counter(stage::SERVE_CLIENT_BREAKER_SKIP, 1);
                     continue;
@@ -271,7 +302,7 @@ impl ShardedClient {
                 if pos > 0 {
                     self.obs.add_counter(stage::SERVE_CLIENT_FAILOVER, 1);
                 }
-                match self.call(i, req) {
+                match self.call(i, req, deadline) {
                     Ok(grid) => {
                         self.health[i].record_success();
                         return Ok(grid);
@@ -289,7 +320,14 @@ impl ShardedClient {
                 // tried, so an all-dead fleet reports errors instead of
                 // silently skipping forever.
                 let i = order[0];
-                match self.call(i, req) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(last.unwrap_or(ServeError::Transport(
+                            RrsError::DeadlineExceeded,
+                        )));
+                    }
+                }
+                match self.call(i, req, deadline) {
                     Ok(grid) => {
                         self.health[i].record_success();
                         return Ok(grid);
@@ -372,14 +410,18 @@ impl ShardedClient {
         let client = self.conns[i].as_mut().expect("just connected");
         let mut by_id: HashMap<u64, usize> = HashMap::new();
         let mut pending = 0usize;
+        let mut send_failed = false;
         for &j in members {
             if client.send(&reqs[j]).is_err() {
-                break; // sent prefix stays pending; the rest re-issue
+                // Sent prefix stays pending (its responses may still
+                // arrive); the rest re-issue through the failover path.
+                send_failed = true;
+                break;
             }
             by_id.insert(reqs[j].request_id, j);
             pending += 1;
         }
-        let mut transport_failed = pending == 0 && !members.is_empty();
+        let mut transport_failed = send_failed;
         while pending > 0 {
             match client.recv() {
                 Ok((id, outcome)) => {
@@ -400,6 +442,11 @@ impl ShardedClient {
                     break;
                 }
             }
+        }
+        if send_failed {
+            // A failed send may have torn the stream mid-frame; never
+            // hand the re-issue path a poisoned connection.
+            self.conns[i] = None;
         }
         if transport_failed {
             self.health[i].record_failure();
@@ -448,6 +495,31 @@ mod tests {
         h.record_success();
         assert!(!h.is_open());
         assert!(h.should_try());
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_before_any_attempt() {
+        use rrs_grid::Window;
+        use rrs_spectrum::{SpectrumModel, SurfaceParams};
+        let mut config = ShardedConfig::new(vec!["127.0.0.1:1".into()]);
+        config.deadline = Some(Duration::ZERO);
+        let mut c = ShardedClient::new(config).expect("construct");
+        let req = GenerateRequest::new(
+            1,
+            0,
+            7,
+            SpectrumModel::gaussian(SurfaceParams::isotropic(1.0, 4.0)),
+            Window::sized(8, 8),
+        );
+        match c.generate(&req) {
+            Err(ServeError::Transport(RrsError::DeadlineExceeded)) => {}
+            other => panic!("expected DeadlineExceeded before any attempt, got {other:?}"),
+        }
+        assert_eq!(
+            c.report().counter(stage::SERVE_CLIENT_CONNECT),
+            0,
+            "an expired deadline must not pay a connect"
+        );
     }
 
     #[test]

@@ -115,6 +115,39 @@ fn encode_frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     frame
 }
 
+/// The inner payload of a read-deadline error that struck while the
+/// stream sat at a frame boundary: zero bytes of the next frame were
+/// consumed, so the stream is still decodable if the caller keeps
+/// reading. Detected through [`timed_out_at_boundary`].
+#[derive(Debug)]
+struct BoundaryTimeout(std::io::Error);
+
+impl std::fmt::Display for BoundaryTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "read deadline at frame boundary: {}", self.0)
+    }
+}
+
+impl std::error::Error for BoundaryTimeout {}
+
+/// True for the `read` errors a socket read deadline produces
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout_io(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// True when `e` is a read-deadline error that fired with the stream
+/// parked at a frame boundary — no byte of a frame consumed. Such a
+/// connection is still framing-clean: a server may keep it alive while
+/// responses are in flight instead of reaping it as a slow-loris peer.
+/// A deadline that fired mid-frame never carries the marker.
+pub fn timed_out_at_boundary(e: &RrsError) -> bool {
+    match e {
+        RrsError::Io(io) => io.get_ref().map_or(false, |inner| inner.is::<BoundaryTimeout>()),
+        _ => false,
+    }
+}
+
 /// Writes one frame. The only I/O errors are the writer's own.
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), RrsError> {
     // One contiguous write: a frame split across small TCP segments
@@ -132,12 +165,28 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
 /// kind — is a typed error: the caller never sees a partially decoded
 /// frame. The length check happens before the payload buffer is
 /// allocated, so a hostile 4 GiB length costs nothing.
+///
+/// A read-deadline error that fires before the first byte of a frame is
+/// marked as a *boundary* timeout ([`timed_out_at_boundary`]): the
+/// stream is still framing-clean and the caller may keep reading. A
+/// deadline mid-frame stays a plain I/O error — the stream position is
+/// unknowable and the connection must close.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<(FrameKind, Vec<u8>)>, RrsError> {
     let mut magic = [0u8; 4];
-    match read_exact_or_eof(r, &mut magic)? {
-        ReadOutcome::Eof => return Ok(None),
-        ReadOutcome::Full => {}
+    // The first byte is read alone: a deadline that strikes here struck
+    // with zero bytes of the frame consumed — the recoverable case the
+    // boundary marker records. From the second byte on, a timeout is a
+    // mid-frame stall.
+    match read_exact_or_eof(r, &mut magic[..1]) {
+        Ok(ReadOutcome::Eof) => return Ok(None),
+        Ok(ReadOutcome::Full) => {}
+        Err(RrsError::Io(io)) if is_timeout_io(&io) => {
+            let kind = io.kind();
+            return Err(RrsError::Io(std::io::Error::new(kind, BoundaryTimeout(io))));
+        }
+        Err(e) => return Err(e),
     }
+    read_fully(r, &mut magic[1..])?;
     if magic != MAGIC {
         return Err(RrsError::corrupt_snapshot(format!(
             "bad frame magic {magic:02x?}, expected {MAGIC:02x?}"
@@ -1011,6 +1060,48 @@ mod tests {
         assert_ne!(base.shard_key(), other_kernel.shard_key(), "a different kernel reroutes");
         let other_backend = base.with_backend(ConvBackend::Direct);
         assert_ne!(base.shard_key(), other_backend.shard_key());
+    }
+
+    /// Serves its bytes one at a time, then times out like a socket
+    /// whose read deadline expired.
+    struct TimeoutAfter {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl std::io::Read for TimeoutAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "deadline"));
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn deadline_at_frame_boundary_is_marked_mid_frame_is_not() {
+        // Timeout before any byte: a boundary timeout — recoverable.
+        let mut idle = TimeoutAfter { data: Vec::new(), pos: 0 };
+        let e = read_frame(&mut idle).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert!(timed_out_at_boundary(&e), "zero bytes consumed ⇒ boundary");
+
+        // Timeout after a partial magic: mid-frame — the stream position
+        // is unknowable and the marker must be absent.
+        let mut partial = TimeoutAfter { data: MAGIC[..3].to_vec(), pos: 0 };
+        let e = read_frame(&mut partial).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert!(!timed_out_at_boundary(&e), "partial frame ⇒ not a boundary timeout");
+
+        // Timeout inside the payload: also mid-frame.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, FrameKind::Ping, b"abc").unwrap();
+        frame.truncate(frame.len() - 1);
+        let mut torn = TimeoutAfter { data: frame, pos: 0 };
+        let e = read_frame(&mut torn).unwrap_err();
+        assert!(!timed_out_at_boundary(&e));
     }
 
     #[test]

@@ -229,11 +229,12 @@ fn draining_rejects_typed_finishes_the_queue_and_flushes_responses() {
     let mut client = Client::connect(addr).expect("connect");
 
     // Occupy the single worker with a deliberately heavy Direct job
-    // (multi-hundred-ms even optimized), and queue three fast jobs
-    // behind it, so the drain is still in progress when the probe
-    // below arrives.
-    let slow = GenerateRequest::new(1, 0, 1, spectrum(), Window::sized(320, 320))
+    // (single in-generator worker, ~4·10⁹ multiply-adds — seconds on
+    // any machine), and queue three fast jobs behind it, so the drain
+    // is still in progress when the probe below arrives.
+    let slow = GenerateRequest::new(1, 0, 1, spectrum(), Window::sized(512, 512))
         .with_sizing(12.0, 128, 128)
+        .with_workers(1)
         .with_backend(ConvBackend::Direct);
     client.send(&slow).expect("send slow");
     let win = Window::sized(16, 16);
@@ -286,6 +287,50 @@ fn draining_rejects_typed_finishes_the_queue_and_flushes_responses() {
 }
 
 #[test]
+fn read_timeout_spares_a_quiet_connection_with_work_in_flight() {
+    // A pipelining client goes quiet after sending: it is waiting on
+    // responses, not slow-lorising. With queue wait + generation far
+    // past the read deadline, the reader must keep the connection open
+    // while requests are in flight — and reap it once it is truly idle.
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        read_timeout: Some(std::time::Duration::from_millis(50)),
+        ..ServeConfig::default()
+    };
+    let server = serve(config).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A deliberately heavy Direct job (single in-generator worker,
+    // ~1.7·10⁹ multiply-adds), with a fast job queued behind it — both
+    // responses land long after 50 ms.
+    let slow = GenerateRequest::new(1, 0, 1, spectrum(), Window::sized(320, 320))
+        .with_sizing(12.0, 128, 128)
+        .with_workers(1)
+        .with_backend(ConvBackend::Direct);
+    client.send(&slow).expect("send slow");
+    let win = Window::sized(16, 16);
+    client.send(&request(2, 0, 9, win)).expect("send fast behind it");
+
+    for _ in 0..2 {
+        let (id, outcome) = client.recv().expect("the deadline must not sever in-flight work");
+        let grid = outcome.expect("served");
+        if id == 2 {
+            assert_eq!(hash_grid(&grid), hash_grid(&direct(truncation_of(0), 9, win)));
+        }
+    }
+
+    // All responses flushed: the connection is now genuinely idle, so
+    // the same deadline reaps it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.report().counter(stage::SERVE_CONN_TIMEOUT) == 0 {
+        assert!(std::time::Instant::now() < deadline, "idle connection was never reaped");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
 fn slow_loris_peer_is_reaped_and_the_server_stays_available() {
     let config = ServeConfig {
         read_timeout: Some(std::time::Duration::from_millis(200)),
@@ -322,9 +367,12 @@ fn per_connection_in_flight_cap_rejects_with_connection_busy() {
     let config = ServeConfig { workers: 1, max_conn_in_flight: 1, ..ServeConfig::default() };
     let server = serve(config).expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
-    // The slot-holder: a slow Direct job.
-    let slow = GenerateRequest::new(1, 0, 1, spectrum(), Window::sized(192, 192))
-        .with_sizing(12.0, 96, 128)
+    // The slot-holder: a Direct job slow on any machine — single
+    // worker, ~4·10⁹ multiply-adds — so it is still generating when
+    // the pipelined frame below is admitted.
+    let slow = GenerateRequest::new(1, 0, 1, spectrum(), Window::sized(512, 512))
+        .with_sizing(12.0, 128, 128)
+        .with_workers(1)
         .with_backend(ConvBackend::Direct);
     client.send(&slow).expect("send slow");
     std::thread::sleep(std::time::Duration::from_millis(100)); // admitted
